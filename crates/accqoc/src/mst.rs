@@ -1,0 +1,117 @@
+//! The similarity MST that orders AccQOC's pulse generations.
+//!
+//! Nodes are the distinct subcircuit unitaries; edge weight is the
+//! phase-aligned operator distance. Prim's algorithm builds the minimum
+//! spanning tree and a preorder walk yields the generation order, so
+//! every pulse after the root is optimized starting from its most
+//! similar, already-generated neighbour.
+
+use paqoc_math::{phase_aligned_distance, Matrix};
+
+/// One MST edge (parent → child in generation order).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MstEdge {
+    /// Already-generated node.
+    pub parent: usize,
+    /// Node to generate next, warm-started from `parent`.
+    pub child: usize,
+    /// Unitary distance between the two.
+    pub distance: f64,
+}
+
+/// Distance used between unitaries of different dimensions (they can
+/// never warm-start each other meaningfully).
+const CROSS_DIM_DISTANCE: f64 = 1.0e3;
+
+/// Builds the similarity MST and returns the node visit order with
+/// each node's distance to its tree parent (`None` for the root) —
+/// a valid generation schedule: each node appears after its parent, and
+/// the distance drives how cheap its warm-started generation is.
+///
+/// Returns an empty order for no nodes. Disconnected components do not
+/// arise (the graph is complete).
+pub fn similarity_mst(unitaries: &[Matrix]) -> Vec<(usize, Option<f64>)> {
+    let n = unitaries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let dist = |a: usize, b: usize| -> f64 {
+        if unitaries[a].rows() != unitaries[b].rows() {
+            CROSS_DIM_DISTANCE
+        } else {
+            phase_aligned_distance(&unitaries[a], &unitaries[b])
+        }
+    };
+
+    // Prim from node 0.
+    let mut in_tree = vec![false; n];
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_parent = vec![0usize; n];
+    let mut order: Vec<(usize, Option<f64>)> = Vec::with_capacity(n);
+    in_tree[0] = true;
+    order.push((0, None));
+    for v in 1..n {
+        best_dist[v] = dist(0, v);
+        best_parent[v] = 0;
+    }
+    for _ in 1..n {
+        let v = (0..n)
+            .filter(|&v| !in_tree[v])
+            .min_by(|&a, &b| best_dist[a].total_cmp(&best_dist[b]))
+            .expect("a node remains");
+        in_tree[v] = true;
+        order.push((v, Some(best_dist[v])));
+        for u in 0..n {
+            if !in_tree[u] {
+                let d = dist(v, u);
+                if d < best_dist[u] {
+                    best_dist[u] = d;
+                    best_parent[u] = v;
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paqoc_circuit::GateKind;
+
+    #[test]
+    fn empty_input_gives_empty_order() {
+        assert!(similarity_mst(&[]).is_empty());
+    }
+
+    #[test]
+    fn order_is_a_permutation_starting_at_root() {
+        let us = vec![
+            GateKind::X.unitary(&[]),
+            GateKind::H.unitary(&[]),
+            GateKind::Cx.unitary(&[]),
+            GateKind::Swap.unitary(&[]),
+        ];
+        let order = similarity_mst(&us);
+        assert_eq!(order[0].0, 0);
+        assert!(order[0].1.is_none(), "root has no parent");
+        assert!(order[1..].iter().all(|(_, d)| d.is_some()));
+        let mut sorted: Vec<usize> = order.iter().map(|&(v, _)| v).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn similar_unitaries_are_visited_adjacently() {
+        use paqoc_circuit::Angle;
+        // Three RZ angles: 0.5 and 0.52 are near, 2.5 is far.
+        let us = vec![
+            GateKind::Rz.unitary(&[Angle::new(0.5)]),
+            GateKind::Rz.unitary(&[Angle::new(2.5)]),
+            GateKind::Rz.unitary(&[Angle::new(0.52)]),
+        ];
+        let order: Vec<usize> = similarity_mst(&us).iter().map(|&(v, _)| v).collect();
+        // From root 0 (angle .5), the closest is 2 (angle .52).
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Fixed-size subcircuit partitioning (AccQOC's circuit division).
+//!
+//! Greedy single pass in instruction order: a gate joins the open block
+//! that currently owns *all* of its qubits when the block stays within
+//! the qubit cap and depth cap; otherwise it opens a new block (stealing
+//! its qubits from their previous blocks, which therefore never reopen
+//! on those qubits — keeping every block convex and the block list
+//! topologically ordered).
+
+use paqoc_circuit::Circuit;
+use std::collections::HashMap;
+
+/// The result of fixed-size partitioning.
+#[derive(Clone, Debug)]
+pub struct FixedPartition {
+    /// Instruction-index sets, in topological (creation) order.
+    pub blocks: Vec<Vec<usize>>,
+}
+
+/// Partitions a circuit into blocks of at most `max_qubits` qubits and
+/// at most `depth` layers.
+///
+/// # Panics
+///
+/// Panics if `max_qubits` is smaller than the widest gate or `depth` is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_circuit::Circuit;
+/// use paqoc_accqoc::partition_fixed;
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).rz(1, 0.3).cx(0, 1).h(1);
+/// let p = partition_fixed(&c, 3, 3);
+/// let covered: usize = p.blocks.iter().map(Vec::len).sum();
+/// assert_eq!(covered, c.len());
+/// ```
+pub fn partition_fixed(circuit: &Circuit, max_qubits: usize, depth: usize) -> FixedPartition {
+    assert!(depth > 0, "depth must be positive");
+    // AccQOC's subcircuits are *fixed-size*: the circuit is sliced into
+    // depth-`depth` windows of the ASAP schedule, and blocks never span
+    // a window boundary (this rigidity is exactly what PAQOC's
+    // unrestricted-depth merging improves on — paper Fig. 13).
+    let mut level = vec![0usize; circuit.num_qubits()];
+    let window_of: Vec<usize> = circuit
+        .iter()
+        .map(|inst| {
+            let l = inst.qubits().iter().map(|&q| level[q]).max().unwrap_or(0);
+            for &q in inst.qubits() {
+                level[q] = l + 1;
+            }
+            l / depth
+        })
+        .collect();
+
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    // Per-block bookkeeping.
+    let mut block_qubits: Vec<Vec<usize>> = Vec::new();
+    let mut block_depth: Vec<HashMap<usize, usize>> = Vec::new();
+    let mut block_window: Vec<usize> = Vec::new();
+    // current[q] = the open block owning qubit q.
+    let mut current: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+
+    for (i, inst) in circuit.iter().enumerate() {
+        let qs = inst.qubits();
+        assert!(
+            qs.len() <= max_qubits,
+            "gate {} is wider than max_qubits={max_qubits}",
+            inst.gate()
+        );
+        // Try to join: all qubits owned by one block (or unowned), and
+        // caps respected.
+        let owners: Vec<Option<usize>> = qs.iter().map(|&q| current[q]).collect();
+        let candidate = owners.iter().flatten().copied().next();
+        let joinable = match candidate {
+            Some(b) => {
+                block_window[b] == window_of[i]
+                    && owners.iter().all(|o| o.map_or(true, |x| x == b))
+                    && {
+                        let mut qset = block_qubits[b].clone();
+                        for &q in qs {
+                            if !qset.contains(&q) {
+                                qset.push(q);
+                            }
+                        }
+                        let new_depth = qs
+                            .iter()
+                            .map(|q| block_depth[b].get(q).copied().unwrap_or(0))
+                            .max()
+                            .unwrap_or(0)
+                            + 1;
+                        qset.len() <= max_qubits && new_depth <= depth
+                    }
+            }
+            None => false,
+        };
+        let target = if joinable {
+            candidate.expect("joinable implies a candidate")
+        } else {
+            let b = blocks.len();
+            blocks.push(Vec::new());
+            block_qubits.push(Vec::new());
+            block_depth.push(HashMap::new());
+            block_window.push(window_of[i]);
+            b
+        };
+        blocks[target].push(i);
+        let new_depth = qs
+            .iter()
+            .map(|q| block_depth[target].get(q).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0)
+            + 1;
+        for &q in qs {
+            if !block_qubits[target].contains(&q) {
+                block_qubits[target].push(q);
+            }
+            block_depth[target].insert(q, new_depth);
+            current[q] = Some(target);
+        }
+    }
+
+    FixedPartition { blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_is_exact(c: &Circuit, p: &FixedPartition) {
+        let mut seen = vec![false; c.len()];
+        for block in &p.blocks {
+            for &i in block {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn partition_covers_exactly() {
+        let mut c = Circuit::new(4);
+        for _ in 0..3 {
+            c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).rz(3, 0.2);
+        }
+        let p = partition_fixed(&c, 3, 3);
+        cover_is_exact(&c, &p);
+    }
+
+    #[test]
+    fn depth_cap_limits_block_size() {
+        let mut c = Circuit::new(1);
+        for _ in 0..10 {
+            c.rz(0, 0.1);
+        }
+        let p = partition_fixed(&c, 3, 3);
+        assert_eq!(p.blocks.len(), 4); // 3+3+3+1
+        for b in &p.blocks {
+            assert!(b.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn qubit_cap_limits_block_width() {
+        let mut c = Circuit::new(5);
+        for q in 0..4 {
+            c.cx(q, q + 1);
+        }
+        let p = partition_fixed(&c, 3, 5);
+        for (bi, block) in p.blocks.iter().enumerate() {
+            let qubits: std::collections::BTreeSet<usize> = block
+                .iter()
+                .flat_map(|&i| c.instructions()[i].qubits().iter().copied())
+                .collect();
+            assert!(qubits.len() <= 3, "block {bi} uses {qubits:?}");
+        }
+    }
+
+    #[test]
+    fn deeper_limit_yields_fewer_blocks() {
+        let mut c = Circuit::new(2);
+        for _ in 0..6 {
+            c.cx(0, 1).rz(1, 0.3);
+        }
+        let d3 = partition_fixed(&c, 3, 3);
+        let d5 = partition_fixed(&c, 3, 5);
+        assert!(d5.blocks.len() <= d3.blocks.len());
+    }
+
+    #[test]
+    fn blocks_are_topologically_ordered() {
+        // No gate may depend on a gate in a later block.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(2, 3).cx(1, 2).h(3).cx(0, 1);
+        let p = partition_fixed(&c, 2, 3);
+        cover_is_exact(&c, &p);
+        let mut block_of = vec![0usize; c.len()];
+        for (b, block) in p.blocks.iter().enumerate() {
+            for &i in block {
+                block_of[i] = b;
+            }
+        }
+        let dag = paqoc_circuit::DependencyDag::from_circuit(&c);
+        for i in 0..c.len() {
+            for &s in dag.succs(i) {
+                assert!(
+                    block_of[s] >= block_of[i],
+                    "gate {s} in block {} depends on {i} in block {}",
+                    block_of[s],
+                    block_of[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than max_qubits")]
+    fn too_wide_gate_panics() {
+        let mut c = Circuit::new(3);
+        c.ccx(0, 1, 2);
+        partition_fixed(&c, 2, 3);
+    }
+}

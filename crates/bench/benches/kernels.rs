@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks of the workspace's hot kernels, plus an
+//! end-to-end compile bench per configuration (the ablation anchors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use paqoc_accqoc::{compile_accqoc, AccqocOptions};
+use paqoc_circuit::{decompose, Basis, Circuit, GateKind};
+use paqoc_core::{compile, PipelineOptions};
+use paqoc_device::{transmon_xy_controls, AnalyticModel, Device, HardwareSpec, PulseSource};
+use paqoc_grape::{optimize, GrapeOptions};
+use paqoc_mapping::{sabre_map, SabreOptions};
+use paqoc_math::{expm, weyl_coordinates, C64};
+use paqoc_mining::{mine_frequent_subcircuits, MinerOptions};
+use paqoc_workloads::benchmark;
+use std::hint::black_box;
+
+fn bench_expm(c: &mut Criterion) {
+    let controls = transmon_xy_controls(3, &[(0, 1), (1, 2)], &HardwareSpec::transmon_xy());
+    let mut h = controls.drift.clone();
+    for ch in &controls.channels {
+        h.axpy(C64::real(0.01), &ch.operator);
+    }
+    c.bench_function("expm_8x8", |b| {
+        b.iter(|| expm(black_box(&h.scaled(C64::new(0.0, -0.5)))))
+    });
+}
+
+fn bench_weyl(c: &mut Criterion) {
+    let u = paqoc_math::random_unitary_seeded(4, 42);
+    c.bench_function("weyl_coordinates_4x4", |b| {
+        b.iter(|| weyl_coordinates(black_box(&u)))
+    });
+}
+
+fn bench_grape_iteration(c: &mut Criterion) {
+    let controls = transmon_xy_controls(1, &[], &HardwareSpec::transmon_xy());
+    let target = GateKind::H.unitary(&[]);
+    let opts = GrapeOptions {
+        max_iters: 10,
+        restarts: 1,
+        target_fidelity: 1.1, // never met: measures 10 raw iterations
+        ..GrapeOptions::default()
+    };
+    c.bench_function("grape_10_iterations_1q", |b| {
+        b.iter(|| optimize(black_box(&target), &controls, 12, &opts, None))
+    });
+}
+
+fn bench_analytic_model(c: &mut Criterion) {
+    let device = Device::grid5x5();
+    let mut model = AnalyticModel::new();
+    let mut circ = Circuit::new(3);
+    circ.h(0).cx(0, 1).rz(1, 0.4).cx(1, 2).cx(0, 1);
+    let group = circ.instructions().to_vec();
+    c.bench_function("analytic_model_3q_group", |b| {
+        b.iter(|| model.generate(black_box(&group), &device, 0.999, None))
+    });
+}
+
+fn bench_sabre(c: &mut Criterion) {
+    let qaoa = (benchmark("qaoa").expect("exists").build)();
+    let lowered = decompose(&qaoa, Basis::Extended);
+    let device = Device::grid5x5();
+    c.bench_function("sabre_qaoa_10q", |b| {
+        b.iter(|| sabre_map(black_box(&lowered), device.topology(), &SabreOptions::default()))
+    });
+}
+
+fn bench_miner(c: &mut Criterion) {
+    let simon = (benchmark("simon").expect("exists").build)();
+    let lowered = decompose(&simon, Basis::Extended);
+    c.bench_function("miner_simon", |b| {
+        b.iter(|| mine_frequent_subcircuits(black_box(&lowered), &MinerOptions::default()))
+    });
+}
+
+fn bench_compile_configs(c: &mut Criterion) {
+    let device = Device::grid5x5();
+    let circ = (benchmark("rd32_270").expect("exists").build)();
+    let mut group = c.benchmark_group("compile_rd32");
+    group.sample_size(10);
+    group.bench_function("paqoc_m0", |b| {
+        b.iter(|| {
+            let mut src = AnalyticModel::new();
+            compile(black_box(&circ), &device, &mut src, &PipelineOptions::m0())
+        })
+    });
+    group.bench_function("paqoc_minf", |b| {
+        b.iter(|| {
+            let mut src = AnalyticModel::new();
+            compile(black_box(&circ), &device, &mut src, &PipelineOptions::m_inf())
+        })
+    });
+    group.bench_function("accqoc_n3d3", |b| {
+        b.iter(|| {
+            let mut src = AnalyticModel::new();
+            compile_accqoc(black_box(&circ), &device, &mut src, &AccqocOptions::n3d3())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_expm,
+    bench_weyl,
+    bench_grape_iteration,
+    bench_analytic_model,
+    bench_sabre,
+    bench_miner,
+    bench_compile_configs
+);
+criterion_main!(benches);

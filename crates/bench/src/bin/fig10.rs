@@ -1,0 +1,33 @@
+//! Regenerates Fig. 10: whole-circuit pulse latency of the seventeen
+//! benchmarks under all five configurations, normalized to accqoc_n3d3.
+//! The paper reports paqoc(M=0) averaging a 54% reduction and
+//! paqoc(M=inf) a 40% reduction.
+
+use paqoc_bench::{evaluate_all_configs, print_normalized};
+use paqoc_device::Device;
+use paqoc_workloads::all_benchmarks;
+
+fn main() {
+    let device = Device::grid5x5();
+    let rows: Vec<_> = all_benchmarks()
+        .into_iter()
+        .map(|b| {
+            let c = (b.build)();
+            eprintln!("compiling {} ...", b.name);
+            (b.name.to_string(), evaluate_all_configs(&c, &device))
+        })
+        .collect();
+    print_normalized(
+        "Fig. 10: circuit latency",
+        &rows,
+        |o| o.latency_dt as f64,
+        true,
+    );
+    println!("\nabsolute latencies (dt):");
+    for (name, o) in &rows {
+        println!(
+            "{name:<15} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            o[0].latency_dt, o[1].latency_dt, o[2].latency_dt, o[3].latency_dt, o[4].latency_dt
+        );
+    }
+}

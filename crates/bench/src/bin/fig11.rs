@@ -1,0 +1,33 @@
+//! Regenerates Fig. 11: circuit compilation time under all five
+//! configurations, normalized to accqoc_n3d3. Reported in synthetic
+//! GRAPE work units (machine-independent) and wall-clock seconds.
+//! The paper: paqoc(M=inf) < paqoc(M=tuned) < paqoc(M=0), with an
+//! average 43% overhead reduction vs the baseline.
+
+use paqoc_bench::{evaluate_all_configs, print_normalized};
+use paqoc_device::Device;
+use paqoc_workloads::all_benchmarks;
+
+fn main() {
+    let device = Device::grid5x5();
+    let rows: Vec<_> = all_benchmarks()
+        .into_iter()
+        .map(|b| {
+            let c = (b.build)();
+            eprintln!("compiling {} ...", b.name);
+            (b.name.to_string(), evaluate_all_configs(&c, &device))
+        })
+        .collect();
+    print_normalized(
+        "Fig. 11: compilation cost (GRAPE work units)",
+        &rows,
+        |o| o.cost_units,
+        true,
+    );
+    print_normalized(
+        "Fig. 11 (supplement): pulses actually generated",
+        &rows,
+        |o| o.pulses_generated as f64,
+        true,
+    );
+}

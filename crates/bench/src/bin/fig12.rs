@@ -1,0 +1,20 @@
+//! Regenerates Fig. 12: ESP (estimated success probability, Eq. 2)
+//! improvement of each configuration normalized to accqoc_n3d3.
+//! The paper: paqoc(M=0) best, averaging +27%.
+
+use paqoc_bench::{evaluate_all_configs, print_normalized};
+use paqoc_device::Device;
+use paqoc_workloads::all_benchmarks;
+
+fn main() {
+    let device = Device::grid5x5();
+    let rows: Vec<_> = all_benchmarks()
+        .into_iter()
+        .map(|b| {
+            let c = (b.build)();
+            eprintln!("compiling {} ...", b.name);
+            (b.name.to_string(), evaluate_all_configs(&c, &device))
+        })
+        .collect();
+    print_normalized("Fig. 12: circuit ESP", &rows, |o| o.esp, false);
+}

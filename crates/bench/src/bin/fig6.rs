@@ -1,0 +1,97 @@
+//! Regenerates Fig. 6: merged vs summed latency of ≤3-qubit subcircuits
+//! extracted from the 150-benchmark corpus. Every point must fall below
+//! the x = y diagonal (Observation 1), and points stratify by qubit
+//! count (Observation 2). Pass `--grape N` to cross-validate N of the
+//! smallest subcircuits with real GRAPE instead of the analytic model.
+
+use paqoc_device::{AnalyticModel, Device, PulseSource};
+use paqoc_workloads::{corpus, extract_subcircuits};
+use std::collections::BTreeSet;
+
+fn main() {
+    let grape_n: usize = std::env::args()
+        .skip_while(|a| a != "--grape")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let device = Device::grid5x5();
+    let mut model = AnalyticModel::new();
+    let circuits = corpus(150, 2023);
+    println!("=== Fig. 6: merged vs summed subcircuit latency (dt) ===");
+    println!("{:>4} {:>10} {:>10} {:>7} {:>6}", "#q", "sum_dt", "merged_dt", "ratio", "gates");
+
+    let mut below = 0usize;
+    let mut total = 0usize;
+    let mut per_qubit_max: [u64; 4] = [0; 4];
+    for c in &circuits {
+        for run in extract_subcircuits(c, 3) {
+            let qubits: BTreeSet<usize> = run
+                .iter()
+                .flat_map(|i| i.qubits().iter().copied())
+                .collect();
+            let merged = model.generate(&run, &device, 0.999, None);
+            let sum: u64 = run
+                .iter()
+                .map(|i| model.generate(std::slice::from_ref(i), &device, 0.999, None).latency_dt)
+                .sum();
+            total += 1;
+            if merged.latency_dt <= sum {
+                below += 1;
+            }
+            let nq = qubits.len().min(3);
+            per_qubit_max[nq] = per_qubit_max[nq].max(merged.latency_dt);
+            if total <= 40 {
+                println!(
+                    "{:>4} {:>10} {:>10} {:>7.2} {:>6}",
+                    nq,
+                    sum,
+                    merged.latency_dt,
+                    merged.latency_dt as f64 / sum.max(1) as f64,
+                    run.len()
+                );
+            }
+        }
+    }
+    println!("... ({total} subcircuits total; first 40 shown)");
+    println!(
+        "Observation 1: {below}/{total} merged points at or below the x=y line ({:.1}%)",
+        100.0 * below as f64 / total as f64
+    );
+    println!(
+        "Observation 2: max merged latency by qubit count: 1q={} dt, 2q={} dt, 3q={} dt",
+        per_qubit_max[1], per_qubit_max[2], per_qubit_max[3]
+    );
+
+    if grape_n > 0 {
+        println!("\n-- GRAPE cross-validation on {grape_n} small subcircuits --");
+        let mut grape = paqoc_grape::GrapeSource::fast();
+        let mut done = 0;
+        'outer: for c in &circuits {
+            for run in extract_subcircuits(c, 2) {
+                if run.len() > 3 {
+                    continue;
+                }
+                let merged = grape.generate(&run, &device, 0.99, None);
+                let sum: u64 = run
+                    .iter()
+                    .map(|i| {
+                        grape
+                            .generate(std::slice::from_ref(i), &device, 0.99, None)
+                            .latency_dt
+                    })
+                    .sum();
+                println!(
+                    "grape: sum={} dt merged={} dt ratio={:.2}",
+                    sum,
+                    merged.latency_dt,
+                    merged.latency_dt as f64 / sum.max(1) as f64
+                );
+                done += 1;
+                if done >= grape_n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+}

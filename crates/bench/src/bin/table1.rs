@@ -1,0 +1,27 @@
+//! Regenerates Table I: the application benchmark overview
+//! (name, description, #qubits, 1q-gate and 2q-gate counts of the
+//! universal-basis input circuit).
+
+use paqoc_circuit::{decompose, Basis};
+use paqoc_workloads::all_benchmarks;
+
+fn main() {
+    println!("=== Table I: overview of application benchmarks ===");
+    println!(
+        "{:<15} {:<22} {:>7} {:>9} {:>9} {:>12}",
+        "Name", "Description", "#qubits", "1q-gate", "2q-gate", "basis gates"
+    );
+    for b in all_benchmarks() {
+        let c = (b.build)();
+        let low = decompose(&c, Basis::Ibm);
+        println!(
+            "{:<15} {:<22} {:>7} {:>9} {:>9} {:>12}",
+            b.name,
+            b.description,
+            c.num_qubits(),
+            c.one_qubit_gate_count(),
+            c.two_qubit_gate_count(),
+            low.len()
+        );
+    }
+}

@@ -1,0 +1,565 @@
+//! The criticality-aware customized gates generator (paper Algorithm 1).
+//!
+//! Iteratively merges pairs of groups, pruned by the paper's criticality
+//! analysis (only candidates touching the critical path are ranked;
+//! Case III pairs are discarded), ranked by the predicted whole-circuit
+//! latency delta using the free analytic estimator (Observations 1 & 2
+//! stand in for pulse generation), and committed top-k per iteration
+//! with real pulse generation and a monotonic-decrease guarantee: a
+//! merge whose generated pulse fails to shorten the circuit is rolled
+//! back (its wasted generation cost still counts, like the paper's
+//! rejected Case-II trial generations).
+
+use crate::group::GroupedCircuit;
+use crate::table::PulseTable;
+use paqoc_device::{AnalyticModel, Device, PulseSource};
+
+/// Knobs of the customized-gates generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaqocOptions {
+    /// Maximum qubits per customized gate (the paper's `maxN`, default 3).
+    pub max_qubits: usize,
+    /// Customized gates committed per iteration (the paper's `top-k`).
+    pub top_k: usize,
+    /// Per-pulse fidelity target handed to the pulse source.
+    pub target_fidelity: f64,
+    /// Enable the Observation-1 preprocessing merge of same-qubit runs.
+    pub preprocess: bool,
+    /// Enable criticality pruning (disable to rank *all* contractible
+    /// pairs — the ablation of Section V-A1).
+    pub criticality_pruning: bool,
+    /// Critical-path tolerance in ns.
+    pub tolerance_ns: f64,
+    /// Upper bound on merge iterations (safety valve).
+    pub max_iterations: usize,
+}
+
+impl Default for PaqocOptions {
+    fn default() -> Self {
+        PaqocOptions {
+            max_qubits: 3,
+            top_k: 1,
+            target_fidelity: 0.999,
+            preprocess: true,
+            criticality_pruning: true,
+            tolerance_ns: 1e-9,
+            max_iterations: 10_000,
+        }
+    }
+}
+
+/// Outcome of the generator loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeneratorReport {
+    /// Merges committed by preprocessing.
+    pub preprocess_merges: usize,
+    /// Merges committed by the criticality-aware loop.
+    pub criticality_merges: usize,
+    /// Candidate merges rejected after real pulse generation.
+    pub rejected_merges: usize,
+    /// Iterations of the outer loop.
+    pub iterations: usize,
+}
+
+/// Runs Algorithm 1 over a grouped circuit.
+///
+/// On return every live group has a generated pulse (latency and
+/// fidelity set), and the circuit latency is monotonically no worse
+/// than the input grouping's.
+pub fn generate_customized_gates(
+    grouped: &mut GroupedCircuit,
+    device: &Device,
+    source: &mut dyn PulseSource,
+    table: &mut PulseTable,
+    opts: &PaqocOptions,
+) -> GeneratorReport {
+    let mut report = GeneratorReport::default();
+    let mut estimator = AnalyticModel::new();
+
+    // Seed every starting group (basis gates and APA gates) with a free
+    // estimator latency; the fidelity-0 marker means "no real pulse
+    // yet". Real pulses are generated once, for the final grouping.
+    for id in grouped.group_ids() {
+        let insts = grouped.group(id).instructions.clone();
+        let est = estimator
+            .generate(&insts, device, opts.target_fidelity, None)
+            .latency_ns;
+        let g = grouped.group_mut(id);
+        g.latency_ns = est;
+        g.fidelity = 0.0;
+    }
+
+    if opts.preprocess {
+        // Preprocessed groups keep free estimator latencies (fidelity-0
+        // marker); real pulses are only generated for the *final*
+        // grouping at the end of this function — the paper's central
+        // compile-time saving.
+        report.preprocess_merges =
+            preprocess_same_qubit_runs(grouped, device, &mut estimator, opts);
+    }
+
+    // Merged-latency estimates are cached by group-id pair: ids are
+    // never mutated in place (merges mint fresh ids), so entries stay
+    // valid for the whole loop.
+    let mut est_cache: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+
+    for _ in 0..opts.max_iterations {
+        report.iterations += 1;
+        let span = grouped.makespan_ns();
+        let before = grouped.cp_before();
+        let after = grouped.cp_after();
+        // Top-3 whole-path weights, for O(1) "heaviest path elsewhere".
+        let mut top_paths: Vec<(f64, usize)> = grouped
+            .group_ids()
+            .into_iter()
+            .map(|g| (before[g] + grouped.group(g).latency_ns + after[g], g))
+            .collect();
+        top_paths.sort_by(|x, y| y.0.total_cmp(&x.0));
+        top_paths.truncate(3);
+        let critical: Vec<bool> = {
+            let mut flags = vec![false; before.len()];
+            for id in grouped.critical_groups(opts.tolerance_ns) {
+                flags[id] = true;
+            }
+            flags
+        };
+
+        // Candidate pairs: direct edges plus sibling pairs sharing a
+        // parent or child, filtered to contractible, ≤ maxN qubits, and
+        // (when pruning) at least one critical member (Cases I and II).
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        for a in grouped.group_ids() {
+            for &b in grouped.succs(a) {
+                candidates.push((a, b));
+            }
+            let around: Vec<usize> = grouped
+                .preds(a)
+                .iter()
+                .chain(grouped.succs(a).iter())
+                .copied()
+                .collect();
+            for (i, &x) in around.iter().enumerate() {
+                for &y in &around[i + 1..] {
+                    if x != y {
+                        candidates.push((x.min(y), x.max(y)));
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut scored: Vec<(f64, f64, usize, usize)> = Vec::new();
+        for (a, b) in candidates {
+            let ga = grouped.group(a);
+            let gb = grouped.group(b);
+            let union_qubits: std::collections::BTreeSet<usize> =
+                ga.qubits.union(&gb.qubits).copied().collect();
+            if union_qubits.len() > opts.max_qubits {
+                continue;
+            }
+            if opts.criticality_pruning && !critical[a] && !critical[b] {
+                continue; // Case III: cannot shorten the critical path
+            }
+            // Contractibility (a graph search) is deferred to commit
+            // time; scoring stays cheap.
+            // Free latency estimate of the merged gate (Obs. 1 & 2 via
+            // the analytic model; no pulse-generation cost incurred),
+            // cached per id pair.
+            let est = *est_cache.entry((a, b)).or_insert_with(|| {
+                let merged_insts: Vec<_> = ga
+                    .instructions
+                    .iter()
+                    .chain(gb.instructions.iter())
+                    .cloned()
+                    .collect();
+                estimator
+                    .generate(&merged_insts, device, opts.target_fidelity, None)
+                    .latency_ns
+            });
+            // Paper's three-term critical path update: the merged node's
+            // heaviest path vs the heaviest path elsewhere (approximated
+            // by the unmerged span of the untouched groups). The merged
+            // node's window comes from its *external* neighbours —
+            // using before[b]/after[a] directly would double-count the
+            // partner's latency on dependent pairs.
+            let new_before = grouped
+                .preds(a)
+                .iter()
+                .chain(grouped.preds(b).iter())
+                .filter(|&&p| p != a && p != b)
+                .map(|&p| before[p] + grouped.group(p).latency_ns)
+                .fold(0.0f64, f64::max);
+            let new_after = grouped
+                .succs(a)
+                .iter()
+                .chain(grouped.succs(b).iter())
+                .filter(|&&s| s != a && s != b)
+                .map(|&s| grouped.group(s).latency_ns + after[s])
+                .fold(0.0f64, f64::max);
+            let through_merged = new_before + est + new_after;
+            let elsewhere = top_paths
+                .iter()
+                .find(|&&(_, g)| g != a && g != b)
+                .map(|&(w, _)| w)
+                .unwrap_or(0.0);
+            let new_span_est = through_merged.max(elsewhere.min(span));
+            let span_gain = span - new_span_est;
+            // Secondary criterion: local latency saved (Obs. 1). With
+            // parallel identical chains every single merge has zero span
+            // gain, yet merging all of them is what eventually shortens
+            // the circuit — so zero-span-gain merges are accepted when
+            // they strictly reduce total pulse time.
+            let local_gain =
+                grouped.group(a).latency_ns + grouped.group(b).latency_ns - est;
+            if span_gain > opts.tolerance_ns
+                || (span_gain >= -opts.tolerance_ns && local_gain > opts.tolerance_ns)
+            {
+                scored.push((span_gain, local_gain, a, b));
+            }
+        }
+        if scored.is_empty() {
+            break;
+        }
+        scored.sort_by(|x, y| {
+            y.0.total_cmp(&x.0)
+                .then(y.1.total_cmp(&x.1))
+                .then((x.2, x.3).cmp(&(y.2, y.3)))
+        });
+
+        // Commit up to top-k disjoint candidates, each validated with
+        // the (free) estimator latency and rolled back if it fails to
+        // help — the paper's core compile-time saving: Observations 1
+        // and 2 replace trial pulse generation; real pulses are only
+        // generated once the grouping is final.
+        let mut committed = 0usize;
+        let mut touched: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for &(_, _, a, b) in &scored {
+            if committed >= opts.top_k {
+                break;
+            }
+            if touched.contains(&a) || touched.contains(&b) {
+                continue; // candidate invalidated by an earlier merge
+            }
+            if !grouped.contractible(a, b) {
+                continue;
+            }
+            let saved_latency =
+                grouped.group(a).latency_ns + grouped.group(b).latency_ns;
+            let est = est_cache[&(a, b)];
+            let mut trial = grouped.clone();
+            let m = trial.merge(a, b);
+            trial.group_mut(m).latency_ns = est;
+            trial.group_mut(m).fidelity = 0.0; // marker: estimate only
+            let new_span = trial.makespan_ns();
+            // Commit on strict span decrease, or on span non-increase
+            // with a strict total-pulse-time decrease (guarantees
+            // monotonic span and loop termination).
+            let total_gain = saved_latency - est;
+            let commit = new_span < span - opts.tolerance_ns
+                || (new_span <= span + opts.tolerance_ns
+                    && total_gain > opts.tolerance_ns);
+            if commit {
+                *grouped = trial;
+                touched.insert(a);
+                touched.insert(b);
+                committed += 1;
+                report.criticality_merges += 1;
+            } else {
+                report.rejected_merges += 1;
+            }
+        }
+        if committed == 0 {
+            break;
+        }
+    }
+
+    // Attach real generated pulses to every group still carrying an
+    // estimate (fidelity-0 marker). Recurring shapes hit the table.
+    for id in grouped.group_ids() {
+        if grouped.group(id).fidelity == 0.0 {
+            let insts = grouped.group(id).instructions.clone();
+            let pulse = table.pulse_for(&insts, device, source, opts.target_fidelity);
+            let g = grouped.group_mut(id);
+            g.latency_ns = pulse.latency_ns;
+            g.fidelity = pulse.fidelity;
+        }
+    }
+
+    report
+}
+
+/// Observation-1 preprocessing (the paper's Fig. 8 step): coalesce
+/// adjacent groups confined to a shared ≤2-qubit set — maximal
+/// same-qubit runs like `rz·cx·rz·cx·rz` become single customized gates
+/// before the criticality search starts. Merges use *free* estimator
+/// latencies (no pulse generation — the whole point of Obs. 1) and are
+/// only committed when the estimated circuit span does not grow. Merged
+/// groups are marked with `fidelity = 0` so the caller can attach real
+/// pulses afterwards. Runs to fixpoint.
+fn preprocess_same_qubit_runs(
+    grouped: &mut GroupedCircuit,
+    device: &Device,
+    estimator: &mut AnalyticModel,
+    opts: &PaqocOptions,
+) -> usize {
+    let mut merges = 0usize;
+    let cap = opts.max_qubits.min(2);
+    let mut est_cache: std::collections::HashMap<(usize, usize), f64> =
+        std::collections::HashMap::new();
+    loop {
+        let mut merged_this_round = false;
+        let span = grouped.makespan_ns();
+        let before = grouped.cp_before();
+        let after = grouped.cp_after();
+        'scan: for a in grouped.group_ids() {
+            for &b in &grouped.succs(a).clone() {
+                let qa = &grouped.group(a).qubits;
+                let qb = &grouped.group(b).qubits;
+                let union = qa.union(qb).count();
+                if union > cap || !grouped.contractible(a, b) {
+                    continue;
+                }
+                let est = *est_cache.entry((a, b)).or_insert_with(|| {
+                    let insts: Vec<_> = grouped
+                        .group(a)
+                        .instructions
+                        .iter()
+                        .chain(grouped.group(b).instructions.iter())
+                        .cloned()
+                        .collect();
+                    estimator
+                        .generate(&insts, device, opts.target_fidelity, None)
+                        .latency_ns
+                });
+                // Cheap span check: the merged node's heaviest path must
+                // not exceed the current span (the rest of the DAG can
+                // only have gotten lighter).
+                let new_before = grouped
+                    .preds(a)
+                    .iter()
+                    .chain(grouped.preds(b).iter())
+                    .filter(|&&p| p != a && p != b)
+                    .map(|&p| before[p] + grouped.group(p).latency_ns)
+                    .fold(0.0f64, f64::max);
+                let new_after = grouped
+                    .succs(a)
+                    .iter()
+                    .chain(grouped.succs(b).iter())
+                    .filter(|&&s| s != a && s != b)
+                    .map(|&s| grouped.group(s).latency_ns + after[s])
+                    .fold(0.0f64, f64::max);
+                if new_before + est + new_after <= span + opts.tolerance_ns {
+                    let m = grouped.merge(a, b);
+                    grouped.group_mut(m).latency_ns = est;
+                    grouped.group_mut(m).fidelity = 0.0; // marker: estimate only
+                    merges += 1;
+                    merged_this_round = true;
+                    break 'scan; // ids changed; rescan
+                }
+            }
+        }
+        if !merged_this_round {
+            return merges;
+        }
+    }
+}
+
+/// Ensures every live group has its pulse latency and fidelity set.
+/// Used by the no-merging baselines in tests and benches.
+#[cfg(test)]
+fn refresh_latencies(
+    grouped: &mut GroupedCircuit,
+    device: &Device,
+    source: &mut dyn PulseSource,
+    table: &mut PulseTable,
+    opts: &PaqocOptions,
+) {
+    for id in grouped.group_ids() {
+        if grouped.group(id).latency_ns == 0.0 {
+            let insts = grouped.group(id).instructions.clone();
+            let pulse = table.pulse_for(&insts, device, source, opts.target_fidelity);
+            let g = grouped.group_mut(id);
+            g.latency_ns = pulse.latency_ns;
+            g.fidelity = pulse.fidelity;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::group::GroupKind;
+    use paqoc_circuit::Circuit;
+    use paqoc_device::AnalyticModel;
+
+    fn run(c: &Circuit, opts: &PaqocOptions) -> (GroupedCircuit, GeneratorReport, PulseTable) {
+        let device = Device::grid5x5();
+        let mut grouped = GroupedCircuit::new(c.instructions(), c.num_qubits(), &[]);
+        let mut source = AnalyticModel::new();
+        let mut table = PulseTable::new();
+        let report =
+            generate_customized_gates(&mut grouped, &device, &mut source, &mut table, opts);
+        (grouped, report, table)
+    }
+
+    #[test]
+    fn merges_a_linear_same_pair_run() {
+        // h(0); cx(0,1); rz(1): all nest into ≤2 qubits and chain.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(1, 0.7);
+        let (grouped, report, _) = run(&c, &PaqocOptions::default());
+        assert_eq!(grouped.len(), 1, "{report:?}");
+        assert!(report.preprocess_merges >= 2, "{report:?}");
+        let only = grouped.group_ids()[0];
+        assert_eq!(grouped.group(only).kind, GroupKind::Customized);
+        assert!(grouped.group(only).latency_ns > 0.0);
+    }
+
+    #[test]
+    fn latency_never_increases() {
+        let mut c = Circuit::new(5);
+        for q in 0..4 {
+            c.h(q);
+            c.cx(q, q + 1);
+            c.rz(q + 1, 0.3 * (q as f64 + 1.0));
+        }
+        // Baseline: no merging at all.
+        let device = Device::grid5x5();
+        let mut baseline = GroupedCircuit::new(c.instructions(), 5, &[]);
+        let mut src = AnalyticModel::new();
+        let mut tbl = PulseTable::new();
+        refresh_latencies(
+            &mut baseline,
+            &device,
+            &mut src,
+            &mut tbl,
+            &PaqocOptions::default(),
+        );
+        let unmerged_span = baseline.makespan_ns();
+
+        let (grouped, _, _) = run(&c, &PaqocOptions::default());
+        assert!(
+            grouped.makespan_ns() <= unmerged_span + 1e-9,
+            "merged {} vs unmerged {}",
+            grouped.makespan_ns(),
+            unmerged_span
+        );
+        assert!(grouped.makespan_ns() < unmerged_span * 0.9, "should clearly improve");
+    }
+
+    #[test]
+    fn respects_max_qubits() {
+        let mut c = Circuit::new(6);
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        let opts = PaqocOptions {
+            max_qubits: 3,
+            ..PaqocOptions::default()
+        };
+        let (grouped, _, _) = run(&c, &opts);
+        for id in grouped.group_ids() {
+            assert!(grouped.group(id).qubits.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn without_criticality_pruning_still_monotonic() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(2, 3).rz(3, 0.4).cx(1, 2);
+        let opts = PaqocOptions {
+            criticality_pruning: false,
+            ..PaqocOptions::default()
+        };
+        let (grouped, report, _) = run(&c, &opts);
+        assert!(report.criticality_merges + report.preprocess_merges > 0);
+        assert!(grouped.makespan_ns() > 0.0);
+    }
+
+    #[test]
+    fn pruning_reduces_ranked_work_not_quality_much() {
+        // The ablation claim: same-ish latency, fewer pulse generations.
+        let mut c = Circuit::new(5);
+        for q in 0..4 {
+            c.h(q);
+            c.cx(q, q + 1);
+        }
+        for q in (0..4).rev() {
+            c.cx(q, q + 1);
+        }
+        let pruned = run(
+            &c,
+            &PaqocOptions {
+                criticality_pruning: true,
+                ..PaqocOptions::default()
+            },
+        );
+        let full = run(
+            &c,
+            &PaqocOptions {
+                criticality_pruning: false,
+                ..PaqocOptions::default()
+            },
+        );
+        let (g1, _, t1) = pruned;
+        let (g2, _, t2) = full;
+        // Pruned search generates no more pulses than the full search.
+        assert!(
+            t1.stats().pulses_generated <= t2.stats().pulses_generated,
+            "{} vs {}",
+            t1.stats().pulses_generated,
+            t2.stats().pulses_generated
+        );
+        // And lands within 25% of the exhaustive latency.
+        assert!(g1.makespan_ns() <= g2.makespan_ns() * 1.25);
+    }
+
+    #[test]
+    fn top_k_commits_multiple_disjoint_merges_per_iteration() {
+        // Pairs chosen to be grid-adjacent on the 5×5 device (pair
+        // (4,5) would straddle a row boundary and distort criticality).
+        let mut c = Circuit::new(9);
+        for q in [0usize, 2, 5, 7] {
+            c.h(q);
+            c.cx(q, q + 1);
+        }
+        let opts = PaqocOptions {
+            preprocess: false,
+            top_k: 4,
+            ..PaqocOptions::default()
+        };
+        let (grouped, report, _) = run(&c, &opts);
+        assert!(report.criticality_merges >= 2, "{report:?}");
+        assert!(grouped.len() <= 6);
+    }
+
+    #[test]
+    fn single_gate_circuit_is_a_fixpoint() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        let (grouped, report, _) = run(&c, &PaqocOptions::default());
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(report.criticality_merges, 0);
+        assert_eq!(report.preprocess_merges, 0);
+    }
+
+    #[test]
+    fn esp_reflects_group_count() {
+        // Fewer groups after merging → higher ESP at equal per-pulse
+        // fidelity budget.
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(1, 0.3).cx(0, 1).h(1);
+        let merged = run(&c, &PaqocOptions::default());
+        let unmerged = {
+            let device = Device::grid5x5();
+            let mut g = GroupedCircuit::new(c.instructions(), 2, &[]);
+            let mut src = AnalyticModel::new();
+            let mut tbl = PulseTable::new();
+            refresh_latencies(&mut g, &device, &mut src, &mut tbl, &PaqocOptions::default());
+            g
+        };
+        assert!(merged.0.esp() > unmerged.esp());
+    }
+}

@@ -1,0 +1,37 @@
+//! # paqoc-core
+//!
+//! PAQOC itself: the grouped-circuit DAG with criticality analysis
+//! ([`GroupedCircuit`]), the canonical-keyed [`PulseTable`], the
+//! criticality-aware customized-gates generator implementing the paper's
+//! Algorithm 1 ([`generate_customized_gates`]), and the end-to-end
+//! [`compile`] pipeline (lower → SABRE map → mine APA basis → merge →
+//! pulses) with the paper's `M ∈ {0, tuned, inf}` presets.
+//!
+//! ## Example
+//!
+//! ```
+//! use paqoc_circuit::Circuit;
+//! use paqoc_core::{compile, PipelineOptions};
+//! use paqoc_device::{AnalyticModel, Device};
+//!
+//! let mut qaoa = Circuit::new(3);
+//! qaoa.cp(0, 1, 0.7).cp(1, 2, 0.7).rx(0, 0.4).rx(1, 0.4).rx(2, 0.4);
+//! let device = Device::grid5x5();
+//! let mut source = AnalyticModel::new();
+//! let result = compile(&qaoa, &device, &mut source, &PipelineOptions::m0());
+//! assert!(result.latency_dt > 0);
+//! assert!(result.esp > 0.9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod group;
+mod pipeline;
+mod table;
+
+pub use generator::{generate_customized_gates, GeneratorReport, PaqocOptions};
+pub use group::{Group, GroupKind, GroupedCircuit};
+pub use pipeline::{compile, partition_is_acyclic, CompilationResult, PipelineOptions};
+pub use table::{group_key, CompileStats, PulseTable};

@@ -1,0 +1,211 @@
+//! The pulse lookup table (paper Section V-B).
+//!
+//! Stores previously generated control pulses keyed by the *canonical*
+//! form of the gate group, so a customized gate that recurs — on the
+//! same qubits or permuted onto different ones — is generated exactly
+//! once. Misses are delegated to the [`PulseSource`] with warm starting
+//! enabled once the table has seen similar work.
+
+use paqoc_circuit::{combined_unitary, Circuit, Instruction};
+use paqoc_device::{Device, PulseEstimate, PulseSource};
+use paqoc_math::{phase_aligned_distance, Matrix};
+use paqoc_mining::{canonical_code, CircuitGraph};
+use std::collections::{BTreeSet, HashMap};
+
+/// Compile-cost accounting across a whole compilation.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CompileStats {
+    /// Pulses actually generated (table misses).
+    pub pulses_generated: usize,
+    /// Table hits (free reuses).
+    pub cache_hits: usize,
+    /// Total synthetic compile cost of the misses.
+    pub cost_units: f64,
+}
+
+impl CompileStats {
+    /// Accumulates another stats record.
+    pub fn absorb(&mut self, other: CompileStats) {
+        self.pulses_generated += other.pulses_generated;
+        self.cache_hits += other.cache_hits;
+        self.cost_units += other.cost_units;
+    }
+}
+
+/// The canonical-keyed pulse table.
+#[derive(Debug, Default)]
+pub struct PulseTable {
+    entries: HashMap<String, PulseEstimate>,
+    /// Target unitaries of stored pulses (≤3-qubit groups), for
+    /// similarity-based warm starting of new generations.
+    unitaries: Vec<Matrix>,
+    stats: CompileStats,
+}
+
+/// Canonical key of a gate group: the mining canonical code of the
+/// group's instructions viewed as a standalone circuit, which identifies
+/// structurally identical groups under qubit permutation.
+pub fn group_key(group: &[Instruction]) -> String {
+    let max_q = group
+        .iter()
+        .flat_map(|i| i.qubits().iter().copied())
+        .max()
+        .unwrap_or(0);
+    let mut c = Circuit::new(max_q + 1);
+    for inst in group {
+        c.push(inst.clone());
+    }
+    let graph = CircuitGraph::from_circuit(&c);
+    let nodes: Vec<usize> = (0..graph.len()).collect();
+    canonical_code(&graph, &nodes)
+}
+
+impl PulseTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        PulseTable::default()
+    }
+
+    /// Looks up or generates the pulse for a group.
+    ///
+    /// On a hit the stored estimate is returned at zero marginal cost;
+    /// on a miss the most similar stored pulse (by unitary distance)
+    /// warm-starts the generation, so near-duplicates — the common case
+    /// after customized-gate merging — converge almost for free, exactly
+    /// the paper's pulse-database behaviour (Section V-B).
+    pub fn pulse_for(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        source: &mut dyn PulseSource,
+        target_fidelity: f64,
+    ) -> PulseEstimate {
+        let key = group_key(group);
+        if let Some(&hit) = self.entries.get(&key) {
+            self.stats.cache_hits += 1;
+            return hit;
+        }
+        // Similarity search over stored unitaries of the same dimension.
+        let qubits: Vec<usize> = group
+            .iter()
+            .flat_map(|i| i.qubits().iter().copied())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let warm = if qubits.len() <= 3 {
+            let target = combined_unitary(group, &qubits);
+            let best = self
+                .unitaries
+                .iter()
+                .filter(|u| u.rows() == target.rows())
+                .map(|u| phase_aligned_distance(u, &target))
+                .min_by(f64::total_cmp);
+            self.unitaries.push(target);
+            best
+        } else {
+            None
+        };
+        let estimate = source.generate(group, device, target_fidelity, warm);
+        self.stats.pulses_generated += 1;
+        self.stats.cost_units += estimate.cost_units;
+        self.entries.insert(key, estimate);
+        estimate
+    }
+
+    /// Number of distinct pulses stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pulses are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The accumulated cost accounting.
+    pub fn stats(&self) -> CompileStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paqoc_circuit::GateKind;
+    use paqoc_device::AnalyticModel;
+
+    fn inst(gate: GateKind, qubits: &[usize]) -> Instruction {
+        Instruction::new(gate, qubits.to_vec(), vec![])
+    }
+
+    #[test]
+    fn group_key_is_permutation_invariant() {
+        // CX(0,1)+RZ(1) vs CX(5,3)+RZ(3): same canonical structure.
+        let a = [
+            inst(GateKind::Cx, &[0, 1]),
+            Instruction::new(GateKind::Rz, vec![1], vec![0.7.into()]),
+        ];
+        let b = [
+            inst(GateKind::Cx, &[5, 3]),
+            Instruction::new(GateKind::Rz, vec![3], vec![0.7.into()]),
+        ];
+        assert_eq!(group_key(&a), group_key(&b));
+    }
+
+    #[test]
+    fn group_key_distinguishes_roles() {
+        let on_target = [
+            inst(GateKind::Cx, &[0, 1]),
+            Instruction::new(GateKind::Rz, vec![1], vec![0.7.into()]),
+        ];
+        let on_control = [
+            inst(GateKind::Cx, &[0, 1]),
+            Instruction::new(GateKind::Rz, vec![0], vec![0.7.into()]),
+        ];
+        assert_ne!(group_key(&on_target), group_key(&on_control));
+    }
+
+    #[test]
+    fn second_lookup_is_a_cache_hit() {
+        let dev = Device::grid5x5();
+        let mut table = PulseTable::new();
+        let mut model = AnalyticModel::new();
+        let g = [inst(GateKind::Cx, &[0, 1])];
+        let first = table.pulse_for(&g, &dev, &mut model, 0.999);
+        let second = table.pulse_for(&g, &dev, &mut model, 0.999);
+        assert_eq!(first, second);
+        let stats = table.stats();
+        assert_eq!(stats.pulses_generated, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert!(stats.cost_units > 0.0);
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn permuted_group_reuses_the_pulse() {
+        let dev = Device::grid5x5();
+        let mut table = PulseTable::new();
+        let mut model = AnalyticModel::new();
+        table.pulse_for(&[inst(GateKind::Cx, &[0, 1])], &dev, &mut model, 0.999);
+        table.pulse_for(&[inst(GateKind::Cx, &[5, 6])], &dev, &mut model, 0.999);
+        assert_eq!(table.stats().pulses_generated, 1);
+        assert_eq!(table.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn stats_absorb_adds_fields() {
+        let mut a = CompileStats {
+            pulses_generated: 1,
+            cache_hits: 2,
+            cost_units: 3.0,
+        };
+        a.absorb(CompileStats {
+            pulses_generated: 4,
+            cache_hits: 5,
+            cost_units: 6.0,
+        });
+        assert_eq!(a.pulses_generated, 5);
+        assert_eq!(a.cache_hits, 7);
+        assert!((a.cost_units - 9.0).abs() < 1e-12);
+    }
+}

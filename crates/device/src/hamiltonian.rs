@@ -1,0 +1,226 @@
+//! Control-Hamiltonian construction for gate groups.
+//!
+//! The paper's Eq. (1): `H(t) = H₀ + Σ_k α_k(t)·H_k`. For the transmon
+//! XY platform in the rotating frame the drift vanishes and the control
+//! set is `{σx/2, σy/2}` per qubit plus `(σx⊗σx + σy⊗σy)/2` per coupler,
+//! with the paper's amplitude limits. GRAPE optimizes the `α_k(t)`.
+
+use crate::spec::HardwareSpec;
+use crate::topology::Topology;
+use paqoc_math::{C64, Matrix};
+
+/// One controllable term `α(t)·H` of the device Hamiltonian.
+#[derive(Clone, Debug)]
+pub struct ControlChannel {
+    /// Human-readable channel name, e.g. `"x[0]"` or `"xy[0,2]"`.
+    pub name: String,
+    /// The Hermitian generator (dimensionless; the physical Hamiltonian
+    /// is `2π·α(GHz)·operator` with time in ns).
+    pub operator: Matrix,
+    /// Amplitude bound `|α| ≤ max_amp` in GHz.
+    pub max_amp: f64,
+}
+
+/// The drift plus control channels for a (sub)system of qubits.
+#[derive(Clone, Debug)]
+pub struct ControlSet {
+    /// Number of qubits in the subsystem.
+    pub num_qubits: usize,
+    /// Drift Hamiltonian `H₀` (zero in the rotating frame).
+    pub drift: Matrix,
+    /// The control channels.
+    pub channels: Vec<ControlChannel>,
+}
+
+impl ControlSet {
+    /// Hilbert-space dimension `2^n`.
+    pub fn dim(&self) -> usize {
+        1 << self.num_qubits
+    }
+}
+
+fn pauli_x() -> Matrix {
+    Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]])
+}
+
+fn pauli_y() -> Matrix {
+    Matrix::from_rows(&[&[C64::ZERO, -C64::I], &[C64::I, C64::ZERO]])
+}
+
+/// Embeds a single-qubit operator at position `q` of `n` qubits
+/// (qubit 0 = least significant bit).
+fn embed1(op: &Matrix, q: usize, n: usize) -> Matrix {
+    let mut m = Matrix::identity(1);
+    // Build I ⊗ … ⊗ op ⊗ … ⊗ I with the most significant qubit first.
+    for k in (0..n).rev() {
+        let factor = if k == q { op.clone() } else { Matrix::identity(2) };
+        m = m.kron(&factor);
+    }
+    m
+}
+
+/// Builds the transmon-XY control set for `num_qubits` local qubits with
+/// the given internal coupling `edges` (local indices).
+///
+/// # Panics
+///
+/// Panics if an edge endpoint is out of range.
+pub fn transmon_xy_controls(
+    num_qubits: usize,
+    edges: &[(usize, usize)],
+    spec: &HardwareSpec,
+) -> ControlSet {
+    let dim = 1 << num_qubits;
+    let x = pauli_x();
+    let y = pauli_y();
+    let mut channels = Vec::new();
+    for q in 0..num_qubits {
+        channels.push(ControlChannel {
+            name: format!("x[{q}]"),
+            operator: embed1(&x, q, num_qubits).scaled(C64::real(0.5)),
+            max_amp: spec.single_qubit_limit(),
+        });
+        channels.push(ControlChannel {
+            name: format!("y[{q}]"),
+            operator: embed1(&y, q, num_qubits).scaled(C64::real(0.5)),
+            max_amp: spec.single_qubit_limit(),
+        });
+    }
+    for &(a, b) in edges {
+        assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+        let xx = embed1(&x, a, num_qubits).matmul(&embed1(&x, b, num_qubits));
+        let yy = embed1(&y, a, num_qubits).matmul(&embed1(&y, b, num_qubits));
+        channels.push(ControlChannel {
+            name: format!("xy[{a},{b}]"),
+            operator: (&xx + &yy).scaled(C64::real(0.5)),
+            max_amp: spec.mu_max,
+        });
+    }
+    ControlSet {
+        num_qubits,
+        drift: Matrix::zeros(dim, dim),
+        channels,
+    }
+}
+
+/// A simulated quantum device: coupling topology plus control limits.
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_device::Device;
+/// let dev = Device::grid5x5();
+/// assert_eq!(dev.topology().num_qubits(), 25);
+/// let controls = dev.controls_for(&[0, 1]);
+/// // 2 qubits × (x, y) + 1 coupler = 5 channels
+/// assert_eq!(controls.channels.len(), 5);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Device {
+    topology: Topology,
+    spec: HardwareSpec,
+}
+
+impl Device {
+    /// Creates a device from a topology and hardware spec.
+    pub fn new(topology: Topology, spec: HardwareSpec) -> Self {
+        Device { topology, spec }
+    }
+
+    /// The paper's evaluation platform: 5×5 grid, transmon-XY limits.
+    pub fn grid5x5() -> Self {
+        Device::new(Topology::grid(5, 5), HardwareSpec::transmon_xy())
+    }
+
+    /// A small line device, convenient for tests and examples.
+    pub fn line(n: usize) -> Self {
+        Device::new(Topology::line(n), HardwareSpec::transmon_xy())
+    }
+
+    /// The coupling topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The control-field limits.
+    pub fn spec(&self) -> &HardwareSpec {
+        &self.spec
+    }
+
+    /// Builds the control set for a group of *physical* qubits, relabeled
+    /// to local indices `0..k` in the order given. Couplers are included
+    /// for every topology edge internal to the group.
+    pub fn controls_for(&self, qubits: &[usize]) -> ControlSet {
+        let local = |q: usize| qubits.iter().position(|&p| p == q).expect("internal");
+        let edges: Vec<(usize, usize)> = self
+            .topology
+            .induced_edges(qubits)
+            .into_iter()
+            .map(|(a, b)| (local(a), local(b)))
+            .collect();
+        transmon_xy_controls(qubits.len(), &edges, &self.spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_are_hermitian_with_paper_limits() {
+        let spec = HardwareSpec::transmon_xy();
+        let set = transmon_xy_controls(2, &[(0, 1)], &spec);
+        assert_eq!(set.channels.len(), 5);
+        for ch in &set.channels {
+            assert!(ch.operator.is_hermitian(1e-12), "{}", ch.name);
+        }
+        assert!((set.channels[0].max_amp - 0.1).abs() < 1e-12);
+        assert!((set.channels[4].max_amp - 0.02).abs() < 1e-12);
+        assert_eq!(set.channels[4].name, "xy[0,1]");
+    }
+
+    #[test]
+    fn drift_is_zero_in_rotating_frame() {
+        let set = transmon_xy_controls(1, &[], &HardwareSpec::transmon_xy());
+        assert!(set.drift.max_abs() < 1e-15);
+        assert_eq!(set.dim(), 2);
+    }
+
+    #[test]
+    fn xy_coupler_swaps_single_excitations() {
+        // (XX+YY)/2 maps |01⟩ ↔ |10⟩ and annihilates |00⟩, |11⟩.
+        let set = transmon_xy_controls(2, &[(0, 1)], &HardwareSpec::transmon_xy());
+        let xy = &set.channels[4].operator;
+        assert!((xy[(1, 2)].re - 1.0).abs() < 1e-12);
+        assert!((xy[(2, 1)].re - 1.0).abs() < 1e-12);
+        assert!(xy[(0, 0)].abs() < 1e-12);
+        assert!(xy[(3, 3)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn controls_for_uses_induced_coupling() {
+        let dev = Device::grid5x5();
+        // Qubits 0,1,2 are a connected row: two couplers.
+        let row = dev.controls_for(&[0, 1, 2]);
+        assert_eq!(
+            row.channels.iter().filter(|c| c.name.starts_with("xy")).count(),
+            2
+        );
+        // Qubits 0 and 2 are not adjacent: no coupler.
+        let gap = dev.controls_for(&[0, 2]);
+        assert_eq!(
+            gap.channels.iter().filter(|c| c.name.starts_with("xy")).count(),
+            0
+        );
+    }
+
+    #[test]
+    fn local_relabeling_follows_group_order() {
+        let dev = Device::grid5x5();
+        // Group [5, 0]: physical edge (0,5) becomes local (1,0) → "xy[1,0]"
+        // normalized in construction order.
+        let set = dev.controls_for(&[5, 0]);
+        let names: Vec<&str> = set.channels.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"xy[1,0]") || names.contains(&"xy[0,1]"), "{names:?}");
+    }
+}

@@ -1,0 +1,514 @@
+//! The analytic pulse-latency model and the [`PulseSource`] abstraction.
+//!
+//! PAQOC's search asks one question thousands of times: *"how long would
+//! the optimal pulse for this gate group be?"* Answering with a real
+//! GRAPE run everywhere is exactly the compilation overhead the paper
+//! fights, so the workspace offers two interchangeable answers behind the
+//! [`PulseSource`] trait:
+//!
+//! * `paqoc_grape::GrapeSource` — the real numeric optimizer;
+//! * [`AnalyticModel`] (this module) — a time-optimal-control surrogate.
+//!
+//! The surrogate is physically grounded: a two-qubit group is collapsed
+//! to one unitary whose Weyl-chamber interaction content lower-bounds the
+//! evolution time under the amplitude-bounded XY coupler, and
+//! single-qubit work is costed by rotation angle against the (5× faster)
+//! local drives. By construction it satisfies the paper's Observation 1
+//! (merging never exceeds the sum of parts) and Observation 2 (latency
+//! grows with qubit count), and `fig6`/`fig2` cross-validate it against
+//! real GRAPE.
+
+use crate::hamiltonian::Device;
+use paqoc_circuit::{combined_unitary, decompose, Basis, Circuit, Instruction};
+use paqoc_math::{stable_jitter, weyl_coordinates, Matrix};
+use std::collections::BTreeSet;
+
+/// The outcome of generating (or predicting) a pulse for a gate group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PulseEstimate {
+    /// Pulse duration in nanoseconds.
+    pub latency_ns: f64,
+    /// Pulse duration in whole device cycles (`dt`), as the paper reports.
+    pub latency_dt: u64,
+    /// Fidelity the pulse achieves against the group unitary.
+    pub fidelity: f64,
+    /// Synthetic compilation cost of producing this pulse (GRAPE
+    /// iterations × time steps × d³, rescaled). Zero only for cache hits,
+    /// which are accounted by the caller's pulse table.
+    pub cost_units: f64,
+}
+
+/// A generator of control pulses for gate groups.
+///
+/// Implementations must be deterministic for a fixed input so that the
+/// evaluation harnesses are reproducible.
+pub trait PulseSource {
+    /// Generates (or predicts) the minimum-latency pulse realizing the
+    /// product of `group` (earlier instructions applied first) at
+    /// `target_fidelity`. `warm_start` carries the unitary distance to
+    /// the closest already-generated pulse when one is available as an
+    /// initial guess: optimization from a nearby guess converges in a
+    /// handful of iterations (the AccQOC similarity trick the paper
+    /// inherits), so cost shrinks with distance — latency does not.
+    fn generate(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        target_fidelity: f64,
+        warm_start: Option<f64>,
+    ) -> PulseEstimate;
+
+    /// A prior estimate of the latency of a typical `num_qubits`-qubit
+    /// customized gate, used by the paper's Observation-2 shortcut when
+    /// ranking merge candidates without generating pulses.
+    fn typical_latency_ns(&self, num_qubits: usize, device: &Device) -> f64;
+
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Time-optimal-control surrogate latency model (see module docs).
+#[derive(Clone, Debug, Default)]
+pub struct AnalyticModel {
+    _private: (),
+}
+
+/// Fraction of serialized single-qubit work that cannot be hidden under
+/// coupler activity inside a merged pulse (local drives are 5× faster
+/// and almost fully overlap — the paper's Fig. 2 shows the Hadamard
+/// disappearing entirely into the merged H·CX pulse).
+const LOCAL_OVERLAP_RHO: f64 = 0.05;
+/// Shared-qubit serialization discount for ≥3-qubit groups: GRAPE
+/// realizes CX(a,b)·CX(b,c) in ≈22 ns against 25 ns of serialized
+/// content (simultaneous coupler driving), giving γ ≈ 0.78.
+const GAMMA3: f64 = 0.78;
+/// Deterministic jitter amplitude (models GRAPE convergence noise).
+const JITTER: f64 = 0.06;
+/// Effective duty factor of stand-alone single-qubit pulses: smooth
+/// envelopes do not sit at the amplitude bound, stretching a lone
+/// rotation (calibrated so H ≈ 60 dt as in the paper's Fig. 2).
+const ENVELOPE_1Q: f64 = 0.65;
+
+impl AnalyticModel {
+    /// Creates the model.
+    pub fn new() -> Self {
+        AnalyticModel::default()
+    }
+
+    /// Pulse ramp/calibration overhead for an `n`-qubit pulse, ns.
+    /// Calibrated against the paper's Fig. 2: CX = base(2) + 12.5 ns
+    /// of echo-corrected content ≈ 110 dt.
+    fn base_ns(num_qubits: usize) -> f64 {
+        match num_qubits {
+            0 | 1 => 0.3,
+            n => 1.25 * f64::powi(2.0, n as i32 - 2),
+        }
+    }
+
+    /// Rotation angle of a single-qubit unitary (global-phase free).
+    fn rotation_angle(u: &Matrix) -> f64 {
+        let half_tr = u.trace().abs() / 2.0;
+        2.0 * half_tr.min(1.0).acos()
+    }
+
+    /// Time-optimal evolution time of a two-qubit unitary under the XY
+    /// coupler, ns.
+    ///
+    /// The XY interaction produces the canonical coordinates `c₁` and
+    /// `c₂` *jointly*; asymmetric targets (like CX, which needs `c₁`
+    /// alone) require echo sequences that cancel the unwanted component,
+    /// doubling the effective time. The resulting estimate
+    /// `t = 2·max(c₁, c₂+|c₃|)/rate` reproduces the GRAPE-measured
+    /// durations of iSWAP (12.5 ns) and CX (≈14 ns) on the paper's
+    /// hardware limits.
+    fn content_time(u4: &Matrix, device: &Device) -> f64 {
+        let w = weyl_coordinates(u4);
+        2.0 * w.c1.max(w.c2 + w.c3.abs()) / device.spec().coupler_rate()
+    }
+
+    /// A stable textual signature of a group (gate labels + relative
+    /// qubit roles), feeding the deterministic jitter.
+    fn signature(group: &[Instruction], qubits: &[usize]) -> String {
+        let local = |q: usize| qubits.iter().position(|&p| p == q).unwrap_or(usize::MAX);
+        group
+            .iter()
+            .map(|inst| {
+                let qs: Vec<String> =
+                    inst.qubits().iter().map(|&q| local(q).to_string()).collect();
+                format!("{}:{}", inst.label(), qs.join(","))
+            })
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+
+    /// Core of the model: raw (jitter-free) latency in ns.
+    fn raw_latency_ns(&self, group: &[Instruction], device: &Device) -> f64 {
+        // Lower any >2-qubit or exotic gates so the content analysis only
+        // sees one- and two-qubit basis gates.
+        let lowered = lower_group(group);
+        let qubits = group_qubits(&lowered);
+        let n = qubits.len();
+        let rate1 = device.spec().single_qubit_rate();
+        let base = AnalyticModel::base_ns(n.max(1));
+
+        match n {
+            0 => 0.0,
+            1 => {
+                let u = combined_unitary(&lowered, &qubits);
+                base + AnalyticModel::rotation_angle(&u) / (rate1 * ENVELOPE_1Q)
+            }
+            2 => {
+                let u = combined_unitary(&lowered, &qubits);
+                let t2 = AnalyticModel::content_time(&u, device)
+                    * coupling_penalty(device, qubits[0], qubits[1]);
+                let t1 = max_local_load(&lowered, &qubits, rate1);
+                base + t2 + LOCAL_OVERLAP_RHO * t1
+            }
+            _ => {
+                // Per-pair combined unitaries; pairs sharing a qubit
+                // serialize; a γ discount models joint-synthesis savings.
+                let pairs = pair_contents(&lowered, device);
+                let mut floor = 0.0f64;
+                let mut busy = vec![0.0f64; n];
+                for (&(a, b), &t) in &pairs {
+                    floor = floor.max(t);
+                    let ia = qubits.iter().position(|&q| q == a).expect("member");
+                    let ib = qubits.iter().position(|&q| q == b).expect("member");
+                    busy[ia] += t;
+                    busy[ib] += t;
+                }
+                for (i, &q) in qubits.iter().enumerate() {
+                    busy[i] += LOCAL_OVERLAP_RHO * local_load(&lowered, q, rate1);
+                }
+                let max_busy = busy.iter().copied().fold(0.0, f64::max);
+                base + (GAMMA3 * max_busy).max(floor)
+            }
+        }
+    }
+}
+
+impl PulseSource for AnalyticModel {
+    fn generate(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        target_fidelity: f64,
+        warm_start: Option<f64>,
+    ) -> PulseEstimate {
+        let lowered = lower_group(group);
+        let qubits = group_qubits(&lowered);
+        let sig = AnalyticModel::signature(group, &qubits);
+        let j = stable_jitter(sig.as_bytes());
+
+        let raw = self.raw_latency_ns(group, device);
+        let latency_ns = (raw * (1.0 + JITTER * (j - 0.5))).max(device.spec().dt_ns);
+        let latency_dt = device.spec().ns_to_dt(latency_ns);
+
+        // Binary search stops once the target is met; the margin above
+        // target is small and pulse-specific.
+        let err_budget = 1.0 - target_fidelity;
+        let fidelity = 1.0 - err_budget * (0.55 + 0.45 * j);
+
+        // Synthetic QOC effort: duration-search rounds × ADAM iterations
+        // × time steps × d (the paper's GRAPE runs on GPUs, where the
+        // dense d×d algebra is parallelized and per-iteration time grows
+        // only mildly with the Hilbert dimension at d ≤ 8). A warm start
+        // from a nearby pulse collapses the iteration count — the closer
+        // the guess, the fewer iterations (down to a polish pass) — and
+        // the duration-search rounds (the duration is already known).
+        let d = 1usize << qubits.len().max(1);
+        let steps = (latency_ns / device.spec().dt_ns).max(1.0);
+        let (iter_scale, rounds) = match warm_start {
+            None => (1.0, 6.0),
+            Some(dist) => ((0.06 + 0.5 * dist).clamp(0.06, 1.0), 2.0),
+        };
+        let iters = 250.0 * iter_scale * (0.8 + 0.4 * j);
+        let cost_units = rounds * iters * steps * d as f64 / 1.0e5;
+
+        PulseEstimate {
+            latency_ns,
+            latency_dt,
+            fidelity,
+            cost_units,
+        }
+    }
+
+    fn typical_latency_ns(&self, num_qubits: usize, device: &Device) -> f64 {
+        let spec = device.spec();
+        let base = AnalyticModel::base_ns(num_qubits.max(1));
+        match num_qubits {
+            0 | 1 => {
+                base + std::f64::consts::FRAC_PI_2
+                    / (spec.single_qubit_rate() * ENVELOPE_1Q)
+            }
+            // A typical 2-qubit customized gate carries roughly one CX of
+            // echo-corrected content: 2·(π/4)/rate, plus some dressing.
+            2 => base + 1.2 * std::f64::consts::FRAC_PI_2 / spec.coupler_rate(),
+            n => {
+                base + 1.2 * (n - 1) as f64 * std::f64::consts::FRAC_PI_2
+                    / spec.coupler_rate()
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+}
+
+/// Lowers every instruction of a group to 1- and 2-qubit basis gates.
+fn lower_group(group: &[Instruction]) -> Vec<Instruction> {
+    let needs_lowering = group
+        .iter()
+        .any(|i| i.gate().num_qubits() > 2 || !Basis::Ibm.contains(i.gate()));
+    if !needs_lowering {
+        return group.to_vec();
+    }
+    let max_q = group
+        .iter()
+        .flat_map(|i| i.qubits().iter().copied())
+        .max()
+        .unwrap_or(0);
+    let mut c = Circuit::new(max_q + 1);
+    for inst in group {
+        c.push(inst.clone());
+    }
+    decompose(&c, Basis::Ibm).instructions().to_vec()
+}
+
+/// Sorted unique qubits of a group.
+fn group_qubits(group: &[Instruction]) -> Vec<usize> {
+    let set: BTreeSet<usize> = group
+        .iter()
+        .flat_map(|i| i.qubits().iter().copied())
+        .collect();
+    set.into_iter().collect()
+}
+
+/// Serialized single-qubit rotation time on qubit `q`, ns.
+fn local_load(group: &[Instruction], q: usize, rate1: f64) -> f64 {
+    group
+        .iter()
+        .filter(|i| i.gate().num_qubits() == 1 && i.qubits()[0] == q)
+        .map(|i| AnalyticModel::rotation_angle(&i.unitary()) / rate1)
+        .sum()
+}
+
+/// Maximum over group qubits of the serialized single-qubit load.
+fn max_local_load(group: &[Instruction], qubits: &[usize], rate1: f64) -> f64 {
+    qubits
+        .iter()
+        .map(|&q| local_load(group, q, rate1))
+        .fold(0.0, f64::max)
+}
+
+/// Penalty for driving interaction between qubits that do not share a
+/// direct coupler: each extra hop roughly doubles the required time.
+fn coupling_penalty(device: &Device, a: usize, b: usize) -> f64 {
+    let d = device.topology().distance(a, b);
+    if d == usize::MAX {
+        // Disconnected: the model still answers (GRAPE could not), with a
+        // strong penalty proportional to nothing better than "far".
+        return 8.0;
+    }
+    f64::powi(2.0, d.saturating_sub(1) as i32)
+}
+
+/// Combined interaction-content time per qubit pair of a group, ns.
+///
+/// Two-qubit gates on the same pair only fuse when nothing else touches
+/// either qubit in between (interleaved gates break commutation, so a
+/// CX·T·CX sandwich must *not* collapse to the identity). Each maximal
+/// uninterrupted run contributes its combined unitary's content; runs on
+/// the same pair serialize.
+fn pair_contents(
+    group: &[Instruction],
+    device: &Device,
+) -> std::collections::BTreeMap<(usize, usize), f64> {
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    let mut open_runs: BTreeMap<(usize, usize), Vec<Instruction>> = BTreeMap::new();
+
+    let flush = |pair: (usize, usize),
+                     run: Vec<Instruction>,
+                     totals: &mut BTreeMap<(usize, usize), f64>| {
+        if run.is_empty() {
+            return;
+        }
+        let u = combined_unitary(&run, &[pair.0, pair.1]);
+        let t = AnalyticModel::content_time(&u, device)
+            * coupling_penalty(device, pair.0, pair.1);
+        *totals.entry(pair).or_insert(0.0) += t;
+    };
+
+    for inst in group {
+        let own_pair = if inst.gate().num_qubits() == 2 {
+            let (a, b) = (inst.qubits()[0], inst.qubits()[1]);
+            Some((a.min(b), a.max(b)))
+        } else {
+            None
+        };
+        // Any gate touching a qubit of an open run (other than extending
+        // its own pair's run) interrupts that run.
+        let interrupted: Vec<(usize, usize)> = open_runs
+            .keys()
+            .copied()
+            .filter(|&pair| {
+                Some(pair) != own_pair
+                    && inst
+                        .qubits()
+                        .iter()
+                        .any(|&q| q == pair.0 || q == pair.1)
+            })
+            .collect();
+        for pair in interrupted {
+            let run = open_runs.remove(&pair).expect("key just listed");
+            flush(pair, run, &mut totals);
+        }
+        if let Some(pair) = own_pair {
+            open_runs.entry(pair).or_default().push(inst.clone());
+        }
+    }
+    for (pair, run) in open_runs {
+        flush(pair, run, &mut totals);
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paqoc_circuit::GateKind;
+
+    fn inst(gate: GateKind, qubits: &[usize]) -> Instruction {
+        Instruction::new(gate, qubits.to_vec(), vec![])
+    }
+
+    fn gen(group: &[Instruction]) -> PulseEstimate {
+        let dev = Device::grid5x5();
+        AnalyticModel::new().generate(group, &dev, 0.999, None)
+    }
+
+    #[test]
+    fn cx_latency_is_on_the_paper_scale() {
+        let e = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        // Content π/4 at 2π·0.02 GHz ≈ 6.25 ns ≈ 100 dt (+ base).
+        assert!(e.latency_dt > 80 && e.latency_dt < 180, "{e:?}");
+    }
+
+    #[test]
+    fn single_qubit_gates_are_faster_than_cx() {
+        // T is a π/4 rotation: far below the coupler-limited CX time.
+        let t = gen(&[inst(GateKind::T, &[0])]);
+        let h = gen(&[inst(GateKind::H, &[0])]); // π rotation
+        let cx = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        assert!(t.latency_ns < cx.latency_ns / 2.0, "{t:?} vs {cx:?}");
+        assert!(h.latency_ns < cx.latency_ns, "{h:?} vs {cx:?}");
+        assert!(t.latency_ns < h.latency_ns);
+    }
+
+    #[test]
+    fn observation1_merged_is_subadditive() {
+        // H then CX merged vs generated separately (the paper's Fig. 2).
+        let h = inst(GateKind::H, &[0]);
+        let cx = inst(GateKind::Cx, &[0, 1]);
+        let merged = gen(&[h.clone(), cx.clone()]);
+        let separate = gen(&[h]).latency_ns + gen(&[cx]).latency_ns;
+        assert!(
+            merged.latency_ns < separate,
+            "merged {} vs separate {}",
+            merged.latency_ns,
+            separate
+        );
+    }
+
+    #[test]
+    fn observation2_latency_grows_with_qubit_count() {
+        let one = gen(&[inst(GateKind::X, &[0])]);
+        let two = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        let three = gen(&[
+            inst(GateKind::Cx, &[0, 1]),
+            inst(GateKind::Cx, &[1, 2]),
+        ]);
+        assert!(one.latency_ns < two.latency_ns);
+        assert!(two.latency_ns < three.latency_ns);
+    }
+
+    #[test]
+    fn inverse_pair_collapses_to_base_cost() {
+        // CX·CX = I: the merged pulse has no interaction content at all.
+        let cx = inst(GateKind::Cx, &[0, 1]);
+        let merged = gen(&[cx.clone(), cx.clone()]);
+        let single = gen(&[cx]);
+        assert!(
+            merged.latency_ns < single.latency_ns / 2.0,
+            "{merged:?} vs {single:?}"
+        );
+    }
+
+    #[test]
+    fn swap_sequence_matches_swap_content() {
+        // Three alternating CX = SWAP: content 3π/4, bigger than one CX.
+        let seq = [
+            inst(GateKind::Cx, &[0, 1]),
+            inst(GateKind::Cx, &[1, 0]),
+            inst(GateKind::Cx, &[0, 1]),
+        ];
+        let merged = gen(&seq);
+        let single = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        let separate: f64 = seq.iter().map(|i| gen(&[i.clone()]).latency_ns).sum();
+        assert!(merged.latency_ns > single.latency_ns);
+        assert!(merged.latency_ns < separate);
+    }
+
+    #[test]
+    fn uncoupled_pair_pays_a_penalty() {
+        // Qubits 0 and 2 on the grid are two hops apart.
+        let adjacent = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        let distant = gen(&[inst(GateKind::Cx, &[0, 2])]);
+        assert!(distant.latency_ns > 1.5 * adjacent.latency_ns);
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let g = [inst(GateKind::H, &[3]), inst(GateKind::Cx, &[3, 4])];
+        assert_eq!(gen(&g), gen(&g));
+    }
+
+    #[test]
+    fn warm_start_reduces_cost_not_latency() {
+        let dev = Device::grid5x5();
+        let mut m = AnalyticModel::new();
+        let g = [inst(GateKind::Cx, &[0, 1])];
+        let cold = m.generate(&g, &dev, 0.999, None);
+        let warm = m.generate(&g, &dev, 0.999, Some(0.05));
+        assert!(warm.cost_units < cold.cost_units / 2.0);
+        assert_eq!(warm.latency_dt, cold.latency_dt);
+    }
+
+    #[test]
+    fn fidelity_meets_target() {
+        let e = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        assert!(e.fidelity >= 0.999, "{e:?}");
+        assert!(e.fidelity < 1.0);
+    }
+
+    #[test]
+    fn typical_latencies_are_ordered() {
+        let dev = Device::grid5x5();
+        let m = AnalyticModel::new();
+        let t1 = m.typical_latency_ns(1, &dev);
+        let t2 = m.typical_latency_ns(2, &dev);
+        let t3 = m.typical_latency_ns(3, &dev);
+        assert!(t1 < t2 && t2 < t3);
+    }
+
+    #[test]
+    fn toffoli_group_is_lowered_automatically() {
+        // A raw CCX instruction is internally decomposed for costing.
+        let e = gen(&[inst(GateKind::Ccx, &[0, 1, 2])]);
+        // More than one CX worth of content plus the 3-qubit base cost.
+        let cx = gen(&[inst(GateKind::Cx, &[0, 1])]);
+        assert!(e.latency_ns > cx.latency_ns, "{e:?} vs {cx:?}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Hardware control-field specification.
+//!
+//! The paper's platform (Section VI): a transmon architecture with XY
+//! interaction, two-qubit control-field limit `μ_max = 0.02 GHz` and a
+//! single-qubit rotation limit of `5·μ_max`, on a 5×5 grid.
+
+/// Control-field limits and time discretization of the simulated device.
+///
+/// All frequencies are in GHz and all times in nanoseconds; latencies are
+/// reported in integer `dt` device cycles like the paper's figures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardwareSpec {
+    /// Two-qubit XY control-field limit in GHz (paper: `0.02`).
+    pub mu_max: f64,
+    /// Single-qubit drive limit as a multiple of `mu_max` (paper: `5`).
+    pub single_qubit_factor: f64,
+    /// Device cycle length in nanoseconds (one `dt`).
+    pub dt_ns: f64,
+    /// Qubit relaxation time T₁ in microseconds (used by the
+    /// decoherence-aware success estimate; transmon-typical default).
+    pub t1_us: f64,
+    /// Qubit dephasing time T₂ in microseconds.
+    pub t2_us: f64,
+}
+
+impl HardwareSpec {
+    /// The paper's transmon-with-XY-interaction setting.
+    pub fn transmon_xy() -> Self {
+        HardwareSpec {
+            mu_max: 0.02,
+            single_qubit_factor: 5.0,
+            // Calibrated so a lone CX pulse (≈14 ns under the XY-coupler
+            // limits, measured with GRAPE) lands near 110 dt, matching
+            // the scale of the paper's Fig. 2.
+            dt_ns: 0.125,
+            t1_us: 100.0,
+            t2_us: 80.0,
+        }
+    }
+
+    /// The single-qubit drive limit in GHz.
+    pub fn single_qubit_limit(&self) -> f64 {
+        self.mu_max * self.single_qubit_factor
+    }
+
+    /// Converts nanoseconds to integer `dt` cycles (rounding up: a pulse
+    /// always occupies whole device cycles).
+    pub fn ns_to_dt(&self, ns: f64) -> u64 {
+        (ns / self.dt_ns).ceil().max(0.0) as u64
+    }
+
+    /// Converts `dt` cycles back to nanoseconds.
+    pub fn dt_to_ns(&self, dt: u64) -> f64 {
+        dt as f64 * self.dt_ns
+    }
+
+    /// Maximum angular rotation rate of a single-qubit drive, rad/ns.
+    pub fn single_qubit_rate(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.single_qubit_limit()
+    }
+
+    /// Maximum nonlocal-content production rate of a coupler, rad/ns.
+    pub fn coupler_rate(&self) -> f64 {
+        2.0 * std::f64::consts::PI * self.mu_max
+    }
+
+    /// Survival probability of `active_qubits` idling-or-driven qubits
+    /// over a schedule of `latency_ns`: `exp(-n·t·(1/T₁ + 1/T₂))`.
+    ///
+    /// This is the decoherence term that multiplies the control-error
+    /// ESP (Eq. 2) — the paper's motivation for latency reduction made
+    /// quantitative.
+    pub fn survival_probability(&self, active_qubits: usize, latency_ns: f64) -> f64 {
+        let rate_per_ns = 1.0 / (self.t1_us * 1000.0) + 1.0 / (self.t2_us * 1000.0);
+        (-(active_qubits as f64) * latency_ns * rate_per_ns).exp()
+    }
+}
+
+impl Default for HardwareSpec {
+    fn default() -> Self {
+        HardwareSpec::transmon_xy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let s = HardwareSpec::transmon_xy();
+        assert!((s.mu_max - 0.02).abs() < 1e-15);
+        assert!((s.single_qubit_limit() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dt_conversion_roundtrips_within_one_cycle() {
+        let s = HardwareSpec::transmon_xy();
+        let dt = s.ns_to_dt(6.25);
+        assert_eq!(dt, 50);
+        assert!((s.dt_to_ns(dt) - 6.25).abs() < 1e-12);
+        // rounding is upward
+        assert_eq!(s.ns_to_dt(6.3), 51);
+    }
+
+    #[test]
+    fn rates_scale_with_limits() {
+        let s = HardwareSpec::transmon_xy();
+        assert!((s.single_qubit_rate() / s.coupler_rate() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_decays_with_latency_and_width() {
+        let s = HardwareSpec::transmon_xy();
+        assert!((s.survival_probability(0, 1e6) - 1.0).abs() < 1e-12);
+        let short = s.survival_probability(5, 100.0);
+        let long = s.survival_probability(5, 10_000.0);
+        let wide = s.survival_probability(20, 100.0);
+        assert!(short > long);
+        assert!(short > wide);
+        assert!(long > 0.0 && long < 1.0);
+    }
+}

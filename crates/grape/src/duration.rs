@@ -1,0 +1,142 @@
+//! Minimum-duration pulse search.
+//!
+//! The paper (Section V-B): "It calculates the minimum duration of the
+//! control pulses of a customized gate by binary search." We bracket the
+//! feasible duration by doubling from an initial guess, then binary
+//! search for the shortest step count that still reaches the fidelity
+//! target.
+
+use crate::optimizer::{optimize, GrapeOptions, GrapeResult, Pulse};
+use paqoc_device::ControlSet;
+use paqoc_math::Matrix;
+
+/// Hard cap on pulse length, in steps (guards against unreachable
+/// targets spinning the search forever).
+const MAX_STEPS: usize = 1024;
+
+/// The outcome of a minimum-duration search.
+#[derive(Clone, Debug)]
+pub struct DurationSearch {
+    /// The shortest successful optimization.
+    pub result: GrapeResult,
+    /// Steps of the successful pulse.
+    pub steps: usize,
+    /// Number of GRAPE optimizations executed.
+    pub trials: usize,
+    /// Total ADAM iterations across all trials (the compile-cost driver).
+    pub total_iterations: usize,
+}
+
+/// Finds the minimum-duration pulse reaching `opts.target_fidelity`.
+///
+/// `initial_steps` seeds the bracket (a good prior, e.g. from the
+/// analytic latency model, saves trials); `warm_start` is forwarded to
+/// every trial.
+///
+/// Returns `None` when even `MAX_STEPS` cannot reach the target.
+///
+/// # Panics
+///
+/// Panics if the target dimension disagrees with the control system.
+pub fn minimize_duration(
+    target: &Matrix,
+    controls: &ControlSet,
+    opts: &GrapeOptions,
+    initial_steps: usize,
+    warm_start: Option<&Pulse>,
+) -> Option<DurationSearch> {
+    let mut trials = 0usize;
+    let mut total_iterations = 0usize;
+    let mut run = |steps: usize| -> GrapeResult {
+        trials += 1;
+        let r = optimize(target, controls, steps, opts, warm_start);
+        total_iterations += r.iterations;
+        r
+    };
+
+    // Bracket: double until success.
+    let mut hi = initial_steps.clamp(2, MAX_STEPS);
+    let mut hi_result = run(hi);
+    while hi_result.fidelity < opts.target_fidelity {
+        if hi >= MAX_STEPS {
+            return None;
+        }
+        hi = (hi * 2).min(MAX_STEPS);
+        hi_result = run(hi);
+    }
+
+    // Binary search in (lo, hi]: lo is known-infeasible (or zero).
+    let mut lo = if hi == initial_steps.clamp(2, MAX_STEPS) {
+        1 // initial guess already worked: probe below it
+    } else {
+        hi / 2 // the previous doubling step failed
+    };
+    let mut best = (hi, hi_result);
+    while lo + 1 < best.0 {
+        let mid = (lo + best.0) / 2;
+        let r = run(mid);
+        if r.fidelity >= opts.target_fidelity {
+            best = (mid, r);
+        } else {
+            lo = mid;
+        }
+    }
+
+    Some(DurationSearch {
+        steps: best.0,
+        result: best.1,
+        trials,
+        total_iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paqoc_circuit::GateKind;
+    use paqoc_device::{transmon_xy_controls, HardwareSpec};
+
+    fn controls1() -> ControlSet {
+        transmon_xy_controls(1, &[], &HardwareSpec::transmon_xy())
+    }
+
+    #[test]
+    fn finds_minimum_near_theoretical_bound() {
+        // X gate: π rotation at 2π·0.1 GHz → 5 ns → 10 steps of 0.5 ns.
+        let target = GateKind::X.unitary(&[]);
+        let opts = GrapeOptions {
+            target_fidelity: 0.995,
+            ..GrapeOptions::default()
+        };
+        let search =
+            minimize_duration(&target, &controls1(), &opts, 12, None).expect("feasible");
+        assert!(
+            (9..=13).contains(&search.steps),
+            "steps {} should be near the 10-step bound",
+            search.steps
+        );
+        assert!(search.result.fidelity >= 0.995);
+    }
+
+    #[test]
+    fn brackets_upward_from_a_low_guess() {
+        let target = GateKind::X.unitary(&[]);
+        let opts = GrapeOptions {
+            target_fidelity: 0.995,
+            ..GrapeOptions::default()
+        };
+        let search =
+            minimize_duration(&target, &controls1(), &opts, 2, None).expect("feasible");
+        assert!(search.steps >= 9, "steps {}", search.steps);
+        assert!(search.trials >= 3); // had to double at least twice
+    }
+
+    #[test]
+    fn identity_needs_minimal_steps() {
+        let target = Matrix::identity(2);
+        let opts = GrapeOptions::default();
+        let search =
+            minimize_duration(&target, &controls1(), &opts, 4, None).expect("feasible");
+        assert!(search.steps <= 2, "steps {}", search.steps);
+    }
+}

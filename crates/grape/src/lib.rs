@@ -1,0 +1,36 @@
+//! # paqoc-grape
+//!
+//! A from-scratch GRAPE (GRadient Ascent Pulse Engineering) stack:
+//! the ADAM-driven optimizer over piecewise-constant controls
+//! ([`optimize`]), the paper's minimum-duration binary search
+//! ([`minimize_duration`]), pulse re-propagation and whole-circuit pulse
+//! simulation ([`propagate`], [`circuit_pulse_fidelity`] — the QuTiP
+//! substitute for Table II), and [`GrapeSource`], the real-numerics
+//! implementation of `paqoc_device::PulseSource` with exact caching and
+//! AccQOC-style similarity warm starts.
+//!
+//! ## Example
+//!
+//! ```
+//! use paqoc_grape::{optimize, GrapeOptions};
+//! use paqoc_device::{transmon_xy_controls, HardwareSpec};
+//! use paqoc_circuit::GateKind;
+//!
+//! let controls = transmon_xy_controls(1, &[], &HardwareSpec::transmon_xy());
+//! let target = GateKind::X.unitary(&[]);
+//! let r = optimize(&target, &controls, 12, &GrapeOptions::default(), None);
+//! assert!(r.fidelity > 0.99);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod duration;
+mod optimizer;
+mod sim;
+mod source;
+
+pub use duration::{minimize_duration, DurationSearch};
+pub use optimizer::{optimize, GrapeOptions, GrapeResult, Pulse};
+pub use sim::{circuit_pulse_fidelity, propagate, ScheduledUnitary};
+pub use source::GrapeSource;

@@ -1,0 +1,358 @@
+//! A from-scratch double-precision complex number type.
+//!
+//! The quantum-optimal-control kernels in this workspace only need a small,
+//! predictable surface: arithmetic, conjugation, polar helpers and `exp`.
+//! Implementing it locally keeps the workspace dependency-free for its
+//! numeric core and lets us tune the inline behaviour of the hot loops.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_math::C64;
+/// let i = C64::I;
+/// assert_eq!(i * i, C64::new(-1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// The additive identity.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn real(re: f64) -> Self {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use paqoc_math::C64;
+    /// let z = C64::from_polar(2.0, std::f64::consts::PI);
+    /// assert!((z.re + 2.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        C64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// `e^{iθ}`: a unit-modulus phase factor.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse. Returns non-finite components for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        C64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        C64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let theta = self.arg();
+        C64::from_polar(r.sqrt(), theta / 2.0)
+    }
+
+    /// Principal natural logarithm.
+    pub fn ln(self) -> Self {
+        C64::new(self.abs().ln(), self.arg())
+    }
+
+    /// Multiplies by the imaginary unit (cheaper than `self * C64::I`).
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        C64::new(-self.im, self.re)
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    #[inline]
+    pub fn mul_add(self, a: C64, b: C64) -> Self {
+        C64::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64::new(self.re * s, self.im * s)
+    }
+
+    /// `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> Self {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        self * rhs.recip()
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<C64> for f64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: f64) -> C64 {
+        C64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for C64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: C64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for C64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: C64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for C64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: C64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = C64::new(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert!(close(z * z.recip(), C64::ONE));
+        assert_eq!(-(-z), z);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(C64::I * C64::I, C64::real(-1.0)));
+    }
+
+    #[test]
+    fn modulus_and_argument() {
+        let z = C64::new(0.0, 2.0);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert!((z.norm_sqr() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = C64::from_polar(2.5, 1.234);
+        assert!((z.abs() - 2.5).abs() < 1e-12);
+        assert!((z.arg() - 1.234).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_i_pi() {
+        let z = (C64::I * std::f64::consts::PI).exp();
+        assert!(close(z, C64::real(-1.0)));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        let z = C64::new(-3.0, 4.0);
+        let s = z.sqrt();
+        assert!(close(s * s, z));
+    }
+
+    #[test]
+    fn ln_inverts_exp() {
+        let z = C64::new(0.3, -1.2);
+        assert!(close(z.exp().ln(), z));
+    }
+
+    #[test]
+    fn mul_i_matches_multiplication() {
+        let z = C64::new(1.5, -2.5);
+        assert!(close(z.mul_i(), z * C64::I));
+    }
+
+    #[test]
+    fn mul_add_matches_expanded() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-0.5, 0.25);
+        let acc = C64::new(10.0, -3.0);
+        assert!(close(acc.mul_add(a, b), acc + a * b));
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_reciprocal() {
+        let a = C64::new(4.0, -2.0);
+        let b = C64::new(1.0, 1.0);
+        assert!(close(a / b, a * b.recip()));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: C64 = (0..4).map(|k| C64::new(k as f64, 1.0)).sum();
+        assert!(close(s, C64::new(6.0, 4.0)));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", C64::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{}", C64::new(1.0, 2.0)), "1+2i");
+    }
+}

@@ -1,0 +1,167 @@
+//! Matrix exponential via Padé approximation with scaling and squaring.
+//!
+//! This is the inner kernel of GRAPE time-slice propagation: every slice
+//! computes `exp(-i·dt·H)` for a small Hermitian `H`. We use the classic
+//! Higham [13/13] scaling-and-squaring scheme, simplified to a fixed [6/6]
+//! Padé with norm-based scaling, which is more than accurate enough for
+//! the step norms this workspace produces (`‖A‖ ≲ 1`).
+
+use crate::complex::C64;
+use crate::matrix::Matrix;
+
+/// Padé [6/6] numerator coefficients for `exp`.
+const PADE6: [f64; 7] = [
+    1.0,
+    1.0 / 2.0,
+    5.0 / 44.0,
+    1.0 / 66.0,
+    1.0 / 792.0,
+    1.0 / 15840.0,
+    1.0 / 665280.0,
+];
+
+/// Computes the matrix exponential `e^A` of a square complex matrix.
+///
+/// Uses a [6/6] Padé approximant with scaling and squaring; the number of
+/// squarings is chosen so the scaled norm is below `0.5`.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or the internal linear solve fails (which
+/// cannot happen for finite input, as the Padé denominator is nonsingular
+/// for `‖A‖ < ln 2` after scaling).
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_math::{expm, C64, Matrix};
+/// // exp(iθX) = cos(θ)·I + i·sin(θ)·X
+/// let theta = 0.3;
+/// let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+/// let u = expm(&x.scaled(C64::I * theta));
+/// assert!((u[(0, 0)].re - theta.cos()).abs() < 1e-12);
+/// assert!((u[(0, 1)].im - theta.sin()).abs() < 1e-12);
+/// ```
+pub fn expm(a: &Matrix) -> Matrix {
+    assert!(a.is_square(), "expm requires a square matrix");
+    let norm = a.one_norm();
+    let squarings = if norm <= 0.5 {
+        0
+    } else {
+        (norm / 0.5).log2().ceil() as u32
+    };
+    let scale = 1.0 / f64::powi(2.0, squarings as i32);
+    let a_scaled = a.scaled(C64::real(scale));
+
+    // Horner-style evaluation of even/odd power series:
+    //   N = Σ c_k A^k split into U (odd) and V (even) so that
+    //   exp(A) ≈ (V - U)^{-1} (V + U).
+    let n = a.rows();
+    let a2 = a_scaled.matmul(&a_scaled);
+    let a4 = a2.matmul(&a2);
+    let a6 = a2.matmul(&a4);
+
+    // V = c0 I + c2 A² + c4 A⁴ + c6 A⁶ (even part)
+    let mut v = Matrix::identity(n).scaled(C64::real(PADE6[0]));
+    v.axpy(C64::real(PADE6[2]), &a2);
+    v.axpy(C64::real(PADE6[4]), &a4);
+    v.axpy(C64::real(PADE6[6]), &a6);
+
+    // U = A (c1 I + c3 A² + c5 A⁴) (odd part)
+    let mut u_inner = Matrix::identity(n).scaled(C64::real(PADE6[1]));
+    u_inner.axpy(C64::real(PADE6[3]), &a2);
+    u_inner.axpy(C64::real(PADE6[5]), &a4);
+    let u = a_scaled.matmul(&u_inner);
+
+    let denom = &v - &u;
+    let numer = &v + &u;
+    let mut result = denom
+        .solve(&numer)
+        .expect("Padé denominator is nonsingular after scaling");
+
+    for _ in 0..squarings {
+        result = result.matmul(&result);
+    }
+    result
+}
+
+/// Computes `exp(-i·t·H)` — the unitary propagator of a Hamiltonian `H`
+/// over time `t`.
+///
+/// # Panics
+///
+/// Panics if `h` is not square.
+pub fn propagator(h: &Matrix, t: f64) -> Matrix {
+    expm(&h.scaled(C64::new(0.0, -t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pauli_z() -> Matrix {
+        Matrix::diag(&[C64::ONE, C64::real(-1.0)])
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(expm(&z).max_diff(&Matrix::identity(3)) < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_diagonal_matches_scalar_exp() {
+        let d = Matrix::diag(&[C64::new(0.2, 0.3), C64::new(-1.0, 0.5)]);
+        let e = expm(&d);
+        assert!((e[(0, 0)] - C64::new(0.2, 0.3).exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - C64::new(-1.0, 0.5).exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_large_norm_uses_squaring() {
+        // diag with norm ≈ 8 forces multiple squarings.
+        let d = Matrix::diag(&[C64::real(8.0), C64::real(-8.0)]);
+        let e = expm(&d);
+        assert!((e[(0, 0)].re - 8.0f64.exp()).abs() / 8.0f64.exp() < 1e-10);
+        assert!((e[(1, 1)].re - (-8.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagator_of_hermitian_is_unitary() {
+        // H = Z + 0.5 X is Hermitian.
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let mut h = pauli_z();
+        h.axpy(C64::real(0.5), &x);
+        let u = propagator(&h, 1.7);
+        assert!(u.is_unitary(1e-10));
+    }
+
+    #[test]
+    fn propagator_composes_additively_in_time() {
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let u1 = propagator(&x, 0.4);
+        let u2 = propagator(&x, 0.6);
+        let u_total = propagator(&x, 1.0);
+        assert!(u2.matmul(&u1).max_diff(&u_total) < 1e-10);
+    }
+
+    #[test]
+    fn exp_z_rotation_matches_closed_form() {
+        // exp(-iθZ/2) = diag(e^{-iθ/2}, e^{iθ/2})
+        let theta = 0.9;
+        let u = propagator(&pauli_z().scaled(C64::real(0.5)), theta);
+        assert!((u[(0, 0)] - C64::cis(-theta / 2.0)).abs() < 1e-12);
+        assert!((u[(1, 1)] - C64::cis(theta / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_commuting_sum_factorizes() {
+        // Z and Z² commute trivially; exp(A+B) = exp(A)exp(B) for commuting A,B.
+        let a = pauli_z().scaled(C64::new(0.0, 0.3));
+        let b = pauli_z().scaled(C64::new(0.1, 0.0));
+        let lhs = expm(&(&a + &b));
+        let rhs = expm(&a).matmul(&expm(&b));
+        assert!(lhs.max_diff(&rhs) < 1e-11);
+    }
+}

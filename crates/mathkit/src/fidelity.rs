@@ -1,0 +1,132 @@
+//! Gate-fidelity metrics used across the pulse-generation stack.
+//!
+//! All metrics are *global-phase insensitive*: QOC is free to realize a
+//! target up to `e^{iφ}`, and the paper's ESP (Eq. 2) treats the per-gate
+//! error term the same way.
+
+use crate::matrix::Matrix;
+
+/// Phase-insensitive process (trace) fidelity `|Tr(U†V)|² / d²`.
+///
+/// Equals 1 exactly when `V = e^{iφ}U`, and decreases smoothly with
+/// distance. This is the objective GRAPE maximizes.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square or differ in shape.
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_math::{trace_fidelity, Matrix, C64};
+/// let u = Matrix::identity(2);
+/// let v = u.scaled(C64::cis(1.0)); // global phase only
+/// assert!((trace_fidelity(&u, &v) - 1.0).abs() < 1e-12);
+/// ```
+pub fn trace_fidelity(u: &Matrix, v: &Matrix) -> f64 {
+    assert!(u.is_square(), "trace_fidelity requires square matrices");
+    assert_eq!(u.rows(), v.rows(), "trace_fidelity shape mismatch");
+    assert_eq!(u.cols(), v.cols(), "trace_fidelity shape mismatch");
+    let d = u.rows() as f64;
+    let overlap = u.dagger().matmul(v).trace();
+    (overlap.norm_sqr() / (d * d)).min(1.0)
+}
+
+/// Average gate fidelity `(d·F_pro + 1)/(d + 1)` derived from the process
+/// fidelity [`trace_fidelity`].
+pub fn average_gate_fidelity(u: &Matrix, v: &Matrix) -> f64 {
+    let d = u.rows() as f64;
+    (d * trace_fidelity(u, v) + 1.0) / (d + 1.0)
+}
+
+/// Phase-aligned operator distance `min_φ ‖U − e^{iφ}V‖_F / √d`.
+///
+/// This is the paper's `|U − H(t)|` error term, normalized so that it lies
+/// in `[0, 2]` independent of dimension. The optimal phase is
+/// `φ = arg Tr(U†V)`.
+///
+/// # Panics
+///
+/// Panics if the matrices are not square or differ in shape.
+pub fn phase_aligned_distance(u: &Matrix, v: &Matrix) -> f64 {
+    assert!(u.is_square(), "phase_aligned_distance requires square matrices");
+    assert_eq!(u.rows(), v.rows(), "phase_aligned_distance shape mismatch");
+    let d = u.rows() as f64;
+    let overlap = u.dagger().matmul(v).trace();
+    // ‖U − e^{iφ}V‖_F² = 2d − 2·Re(e^{-iφ}·Tr(U†V)); minimized at φ = arg overlap.
+    let sq = (2.0 * d - 2.0 * overlap.abs()).max(0.0);
+    (sq / d).sqrt()
+}
+
+/// Per-gate success rate `1 − ε` used by the ESP product (paper Eq. 2),
+/// with `ε` the [`phase_aligned_distance`] clamped to `[0, 1]`.
+pub fn gate_success_rate(u: &Matrix, v: &Matrix) -> f64 {
+    (1.0 - phase_aligned_distance(u, v)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::C64;
+
+    fn h_gate() -> Matrix {
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        Matrix::from_rows(&[&[s, s], &[s, -s]])
+    }
+
+    #[test]
+    fn identical_gates_have_unit_fidelity() {
+        let h = h_gate();
+        assert!((trace_fidelity(&h, &h) - 1.0).abs() < 1e-14);
+        assert!(phase_aligned_distance(&h, &h) < 1e-7);
+        assert!((gate_success_rate(&h, &h) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        let h = h_gate();
+        let phased = h.scaled(C64::cis(2.1));
+        assert!((trace_fidelity(&h, &phased) - 1.0).abs() < 1e-12);
+        assert!(phase_aligned_distance(&h, &phased) < 1e-7);
+    }
+
+    #[test]
+    fn orthogonal_gates_have_zero_fidelity() {
+        // Tr(Z†X) = 0 → process fidelity 0.
+        let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+        let z = Matrix::diag(&[C64::ONE, C64::real(-1.0)]);
+        assert!(trace_fidelity(&x, &z) < 1e-14);
+        // Average gate fidelity bottoms out at 1/(d+1).
+        assert!((average_gate_fidelity(&x, &z) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_grows_monotonically_with_rotation_error() {
+        // Rz(θ) vs identity: distance increases with θ on [0, π].
+        let dist = |theta: f64| {
+            let rz = Matrix::diag(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)]);
+            phase_aligned_distance(&Matrix::identity(2), &rz)
+        };
+        let mut last = 0.0;
+        for k in 1..=8 {
+            let d = dist(k as f64 * std::f64::consts::PI / 8.0);
+            assert!(d > last, "distance must grow with angle");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn fidelity_and_distance_are_consistent() {
+        // F close to 1 ⇔ distance close to 0.
+        let h = h_gate();
+        let almost = {
+            let eps = 1e-3;
+            let rz = Matrix::diag(&[C64::cis(-eps), C64::cis(eps)]);
+            h.matmul(&rz)
+        };
+        let f = trace_fidelity(&h, &almost);
+        let d = phase_aligned_distance(&h, &almost);
+        assert!(f > 0.999_99);
+        assert!(d < 2e-3);
+    }
+}

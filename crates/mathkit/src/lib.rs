@@ -1,0 +1,46 @@
+//! # paqoc-math
+//!
+//! From-scratch complex linear algebra sized for few-qubit quantum optimal
+//! control: a [`C64`] scalar type, dense [`Matrix`] kernels (product,
+//! Kronecker, adjoint, linear solve), the matrix exponential [`expm`],
+//! small-matrix [`eigenvalues`], Weyl-chamber canonical coordinates of
+//! two-qubit gates ([`weyl_coordinates`]), fidelity metrics and Haar-random
+//! unitaries.
+//!
+//! This crate is the numeric substrate of the PAQOC reproduction; every
+//! other crate builds on it and nothing here knows about circuits or
+//! pulses.
+//!
+//! ## Example
+//!
+//! ```
+//! use paqoc_math::{expm, trace_fidelity, C64, Matrix};
+//!
+//! // A π/2 X rotation generated from its Hamiltonian…
+//! let x = Matrix::from_rows(&[&[C64::ZERO, C64::ONE], &[C64::ONE, C64::ZERO]]);
+//! let u = expm(&x.scaled(C64::new(0.0, -std::f64::consts::FRAC_PI_4)));
+//! // …is a √X gate up to global phase.
+//! assert!(u.is_unitary(1e-12));
+//! assert!(trace_fidelity(&u, &u) > 0.999_999);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod eig;
+mod expm;
+mod fidelity;
+mod matrix;
+mod random;
+mod weyl;
+
+pub use complex::C64;
+pub use eig::{char_poly, eigenvalues, poly_roots};
+pub use expm::{expm, propagator};
+pub use fidelity::{
+    average_gate_fidelity, gate_success_rate, phase_aligned_distance, trace_fidelity,
+};
+pub use matrix::Matrix;
+pub use random::{ginibre, random_unitary, random_unitary_seeded, stable_jitter};
+pub use weyl::{det, weyl_coordinates, WeylCoordinates};

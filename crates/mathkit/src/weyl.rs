@@ -1,0 +1,284 @@
+//! Weyl-chamber canonical coordinates of two-qubit unitaries.
+//!
+//! Every two-qubit unitary is locally equivalent to
+//! `exp(i/2 (c₁ X⊗X + c₂ Y⊗Y + c₃ Z⊗Z))` for canonical coordinates
+//! `(c₁, c₂, c₃)` in the Weyl chamber. The sum `c₁+c₂+c₃` measures the
+//! *nonlocal interaction content* of the gate, which under an
+//! amplitude-bounded XY coupling lower-bounds the time needed to realize
+//! it — exactly the quantity the analytic latency model in `paqoc-device`
+//! builds on.
+//!
+//! The reduction follows the standard magic-basis construction (as used by
+//! Qiskit's `weyl_coordinates`): transform to the magic basis, take the
+//! eigenphases of `Mᵀ M`, and fold the resulting angles into the chamber.
+
+use crate::complex::C64;
+use crate::eig::eigenvalues;
+use crate::matrix::Matrix;
+use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+/// Canonical (Weyl-chamber) coordinates of a two-qubit unitary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeylCoordinates {
+    /// First canonical coordinate, in `[0, π/2]`.
+    pub c1: f64,
+    /// Second canonical coordinate, in `[0, π/4]`.
+    pub c2: f64,
+    /// Third canonical coordinate, in `[-π/4, π/4]`.
+    pub c3: f64,
+}
+
+impl WeylCoordinates {
+    /// Total nonlocal interaction content `c₁ + c₂ + |c₃|`.
+    ///
+    /// Zero exactly for products of single-qubit gates; `3π/4` for SWAP.
+    pub fn interaction_content(&self) -> f64 {
+        self.c1 + self.c2 + self.c3.abs()
+    }
+
+    /// `true` when the gate is locally equivalent to the identity
+    /// (i.e. a product of single-qubit gates).
+    pub fn is_local(&self, tol: f64) -> bool {
+        self.interaction_content() < tol
+    }
+}
+
+/// The magic basis `B` with `B† U B` mapping local gates to orthogonals.
+fn magic_basis() -> Matrix {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let z = C64::ZERO;
+    let r = C64::real(s);
+    let i = C64::new(0.0, s);
+    Matrix::from_rows(&[
+        &[r, i, z, z],
+        &[z, z, i, r],
+        &[z, z, i, -r],
+        &[r, -i, z, z],
+    ])
+}
+
+/// Determinant of a small square complex matrix by LU elimination.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn det(a: &Matrix) -> C64 {
+    assert!(a.is_square(), "det requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut result = C64::ONE;
+    for col in 0..n {
+        let mut piv = col;
+        let mut mag = m[(col, col)].abs();
+        for r in (col + 1)..n {
+            if m[(r, col)].abs() > mag {
+                piv = r;
+                mag = m[(r, col)].abs();
+            }
+        }
+        if mag < 1e-300 {
+            return C64::ZERO;
+        }
+        if piv != col {
+            for j in 0..n {
+                let t = m[(col, j)];
+                m[(col, j)] = m[(piv, j)];
+                m[(piv, j)] = t;
+            }
+            result = -result;
+        }
+        result *= m[(col, col)];
+        let inv = m[(col, col)].recip();
+        for r in (col + 1)..n {
+            let f = m[(r, col)] * inv;
+            for j in col..n {
+                let v = m[(col, j)];
+                m[(r, j)] = m[(r, j)].mul_add(-f, v);
+            }
+        }
+    }
+    result
+}
+
+/// Computes the Weyl-chamber canonical coordinates of a 4×4 unitary.
+///
+/// # Panics
+///
+/// Panics if `u` is not 4×4.
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_math::{weyl_coordinates, Matrix};
+/// let id = Matrix::identity(4);
+/// let w = weyl_coordinates(&id);
+/// assert!(w.interaction_content() < 1e-6);
+/// ```
+pub fn weyl_coordinates(u: &Matrix) -> WeylCoordinates {
+    assert_eq!(u.rows(), 4, "weyl_coordinates requires a 4×4 unitary");
+    assert_eq!(u.cols(), 4, "weyl_coordinates requires a 4×4 unitary");
+
+    // Normalize to SU(4).
+    let d = det(u);
+    let phase = d.arg() / 4.0;
+    let scale = C64::cis(-phase) * d.abs().powf(-0.25);
+    let su = u.scaled(scale);
+
+    // Magic-basis transform and eigenphases of MᵀM.
+    let b = magic_basis();
+    let up = b.dagger().matmul(&su).matmul(&b);
+    let m2 = up.transpose().matmul(&up);
+    let evs = eigenvalues(&m2);
+
+    let mut d_ang: Vec<f64> = evs.iter().map(|e| -e.arg() / 2.0).collect();
+    d_ang[3] = -d_ang[0] - d_ang[1] - d_ang[2];
+
+    let mut cs: Vec<f64> = (0..3)
+        .map(|i| ((d_ang[i] + d_ang[3]) / 2.0).rem_euclid(2.0 * PI))
+        .collect();
+
+    // Order coordinates by their distance into [0, π/2] folded form.
+    let cstemp: Vec<f64> = cs
+        .iter()
+        .map(|&c| {
+            let m = c.rem_euclid(FRAC_PI_2);
+            m.min(FRAC_PI_2 - m)
+        })
+        .collect();
+    let mut idx = [0usize, 1, 2];
+    idx.sort_by(|&a, &b| cstemp[a].total_cmp(&cstemp[b]));
+    let order = [idx[1], idx[2], idx[0]];
+    cs = vec![cs[order[0]], cs[order[1]], cs[order[2]]];
+
+    // Fold into the Weyl chamber.
+    if cs[0] > FRAC_PI_2 {
+        cs[0] -= 3.0 * FRAC_PI_2;
+    }
+    if cs[1] > FRAC_PI_2 {
+        cs[1] -= 3.0 * FRAC_PI_2;
+    }
+    let mut conjs = 0;
+    if cs[0] > FRAC_PI_4 {
+        cs[0] = FRAC_PI_2 - cs[0];
+        conjs += 1;
+    }
+    if cs[1] > FRAC_PI_4 {
+        cs[1] = FRAC_PI_2 - cs[1];
+        conjs += 1;
+    }
+    if cs[2] > FRAC_PI_2 {
+        cs[2] -= 3.0 * FRAC_PI_2;
+    }
+    if conjs == 1 {
+        cs[2] = FRAC_PI_2 - cs[2];
+    }
+    if cs[2] > FRAC_PI_4 {
+        cs[2] -= FRAC_PI_2;
+    }
+
+    WeylCoordinates {
+        c1: cs[1].abs(),
+        c2: cs[0].abs(),
+        c3: cs[2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx() -> Matrix {
+        let mut m = Matrix::identity(4);
+        m[(2, 2)] = C64::ZERO;
+        m[(3, 3)] = C64::ZERO;
+        m[(2, 3)] = C64::ONE;
+        m[(3, 2)] = C64::ONE;
+        m
+    }
+
+    fn swap() -> Matrix {
+        let mut m = Matrix::zeros(4, 4);
+        m[(0, 0)] = C64::ONE;
+        m[(1, 2)] = C64::ONE;
+        m[(2, 1)] = C64::ONE;
+        m[(3, 3)] = C64::ONE;
+        m
+    }
+
+    fn iswap() -> Matrix {
+        let mut m = Matrix::zeros(4, 4);
+        m[(0, 0)] = C64::ONE;
+        m[(1, 2)] = C64::I;
+        m[(2, 1)] = C64::I;
+        m[(3, 3)] = C64::ONE;
+        m
+    }
+
+    #[test]
+    fn det_of_identity_is_one() {
+        assert!((det(&Matrix::identity(4)) - C64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn det_of_swap_is_minus_one() {
+        assert!((det(&swap()) - C64::real(-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_has_zero_content() {
+        let w = weyl_coordinates(&Matrix::identity(4));
+        assert!(w.interaction_content() < 1e-6, "{w:?}");
+        assert!(w.is_local(1e-6));
+    }
+
+    #[test]
+    fn cx_content_is_quarter_pi() {
+        let w = weyl_coordinates(&cx());
+        assert!(
+            (w.interaction_content() - FRAC_PI_4).abs() < 1e-6,
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn swap_content_is_three_quarter_pi() {
+        let w = weyl_coordinates(&swap());
+        assert!(
+            (w.interaction_content() - 3.0 * FRAC_PI_4).abs() < 1e-6,
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn iswap_content_is_half_pi() {
+        let w = weyl_coordinates(&iswap());
+        assert!(
+            (w.interaction_content() - FRAC_PI_2).abs() < 1e-6,
+            "{w:?}"
+        );
+    }
+
+    #[test]
+    fn local_product_has_zero_content() {
+        // H ⊗ T is a product of single-qubit gates.
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        let h = Matrix::from_rows(&[&[s, s], &[s, -s]]);
+        let t = Matrix::diag(&[C64::ONE, C64::cis(FRAC_PI_4)]);
+        let w = weyl_coordinates(&h.kron(&t));
+        assert!(w.interaction_content() < 1e-6, "{w:?}");
+    }
+
+    #[test]
+    fn content_is_invariant_under_local_dressing() {
+        // CX dressed by local gates keeps its canonical content.
+        let s = C64::real(std::f64::consts::FRAC_1_SQRT_2);
+        let h = Matrix::from_rows(&[&[s, s], &[s, -s]]);
+        let local = h.kron(&Matrix::identity(2));
+        let dressed = local.matmul(&cx()).matmul(&local.dagger());
+        let w = weyl_coordinates(&dressed);
+        assert!(
+            (w.interaction_content() - FRAC_PI_4).abs() < 1e-6,
+            "{w:?}"
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! Canonical codes for subcircuit instances.
+//!
+//! Two instances are the same *pattern* exactly when their induced
+//! labeled sub-DAGs are isomorphic, including how gates share qubits.
+//! The canonical code linearizes the instance by a deterministic
+//! greedy-minimal topological order (branching on ties and keeping the
+//! lexicographically smallest emission), relabeling qubits by first
+//! appearance — so isomorphic instances, wherever they sit in the
+//! circuit and on whichever physical qubits, produce identical codes.
+
+use crate::graph::CircuitGraph;
+use std::collections::BTreeMap;
+
+/// Computes the canonical code of an instance (a set of node indices).
+///
+/// The instance must be non-empty; it need not be convex (convexity is
+/// the grower's concern). Cost is exponential only in the number of
+/// *tied* symmetric nodes, which is tiny for the ≤ 8-gate patterns mined
+/// here.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty.
+pub fn canonical_code(graph: &CircuitGraph, nodes: &[usize]) -> String {
+    assert!(!nodes.is_empty(), "instance must contain at least one gate");
+    let mut nodes = nodes.to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+
+    // Local adjacency restricted to the instance.
+    let index_of = |v: usize| nodes.iter().position(|&n| n == v);
+    let k = nodes.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (li, &v) in nodes.iter().enumerate() {
+        for e in graph.in_edges(v) {
+            if let Some(lp) = index_of(e.from) {
+                preds[li].push(lp);
+            }
+        }
+    }
+
+    let mut best: Option<String> = None;
+    let state = EmitState {
+        emitted: Vec::new(),
+        qubit_ids: BTreeMap::new(),
+        code: String::new(),
+    };
+    search(graph, &nodes, &preds, state, &mut best);
+    best.expect("at least one linearization exists")
+}
+
+#[derive(Clone)]
+struct EmitState {
+    emitted: Vec<usize>, // local indices in emission order
+    qubit_ids: BTreeMap<usize, usize>, // physical qubit -> canonical id
+    code: String,
+}
+
+/// The emission token of a node under the current state: gate label plus
+/// canonical qubit ids (fresh qubits numbered in operand order).
+fn token(
+    graph: &CircuitGraph,
+    nodes: &[usize],
+    local: usize,
+    state: &EmitState,
+) -> (String, Vec<(usize, usize)>) {
+    let v = nodes[local];
+    let mut fresh: Vec<(usize, usize)> = Vec::new();
+    let mut next_id = state.qubit_ids.len();
+    let ids: Vec<String> = graph
+        .qubits(v)
+        .iter()
+        .map(|&q| {
+            if let Some(&id) = state.qubit_ids.get(&q) {
+                id.to_string()
+            } else if let Some(&(_, id)) = fresh.iter().find(|&&(fq, _)| fq == q) {
+                id.to_string()
+            } else {
+                let id = next_id;
+                fresh.push((q, id));
+                next_id += 1;
+                id.to_string()
+            }
+        })
+        .collect();
+    (
+        format!("{}({})", graph.label(v), ids.join(",")),
+        fresh,
+    )
+}
+
+fn search(
+    graph: &CircuitGraph,
+    nodes: &[usize],
+    preds: &[Vec<usize>],
+    state: EmitState,
+    best: &mut Option<String>,
+) {
+    let k = nodes.len();
+    if state.emitted.len() == k {
+        match best {
+            Some(b) if *b <= state.code => {}
+            _ => *best = Some(state.code),
+        }
+        return;
+    }
+    // Prune: a prefix already worse than the best completed code can
+    // never win (string comparison is prefix-monotone for our format
+    // because every code has the same number of ';'-separated tokens).
+    if let Some(b) = best {
+        if !b.is_empty() && state.code.len() <= b.len() && !state.code.is_empty() {
+            let prefix = &b[..state.code.len().min(b.len())];
+            if state.code.as_str() > prefix {
+                return;
+            }
+        }
+    }
+
+    // Ready nodes: all instance-internal predecessors emitted.
+    let ready: Vec<usize> = (0..k)
+        .filter(|&li| !state.emitted.contains(&li))
+        .filter(|&li| preds[li].iter().all(|p| state.emitted.contains(p)))
+        .collect();
+
+    // Greedy-minimal: emit only the nodes whose token is minimal.
+    let tokens: Vec<(usize, (String, Vec<(usize, usize)>))> = ready
+        .iter()
+        .map(|&li| (li, token(graph, nodes, li, &state)))
+        .collect();
+    let min_tok = tokens
+        .iter()
+        .map(|(_, (t, _))| t.clone())
+        .min()
+        .expect("DAG always has a ready node");
+
+    for (li, (tok, fresh)) in tokens {
+        if tok != min_tok {
+            continue;
+        }
+        let mut next = state.clone();
+        next.emitted.push(li);
+        for (q, id) in fresh {
+            next.qubit_ids.insert(q, id);
+        }
+        if !next.code.is_empty() {
+            next.code.push(';');
+        }
+        next.code.push_str(&tok);
+        search(graph, nodes, preds, next, best);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paqoc_circuit::Circuit;
+
+    fn code_of(c: &Circuit, nodes: &[usize]) -> String {
+        canonical_code(&CircuitGraph::from_circuit(c), nodes)
+    }
+
+    #[test]
+    fn identical_shapes_share_codes_across_qubits() {
+        let mut c = Circuit::new(4);
+        c.cx(0, 1).rz(1, 0.7); // instance A on qubits 0,1
+        c.cx(2, 3).rz(3, 0.7); // instance B on qubits 2,3
+        let a = code_of(&c, &[0, 1]);
+        let b = code_of(&c, &[2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(a, "cx(0,1);rz(0.7000)(1)");
+    }
+
+    #[test]
+    fn control_vs_target_sharing_is_distinguished() {
+        // The paper's Fig. 5 disambiguation: rz on the target vs on the
+        // control of the following cx.
+        let mut on_target = Circuit::new(2);
+        on_target.rz(1, 0.7).cx(0, 1);
+        let mut on_control = Circuit::new(2);
+        on_control.rz(0, 0.7).cx(0, 1);
+        let a = code_of(&on_target, &[0, 1]);
+        let b = code_of(&on_control, &[0, 1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn code_is_invariant_to_emission_ties() {
+        // Two independent H gates feeding a CX: either H may come first;
+        // the canonical code must not depend on node indices.
+        let mut c1 = Circuit::new(2);
+        c1.h(0).h(1).cx(0, 1);
+        let mut c2 = Circuit::new(2);
+        c2.h(1).h(0).cx(0, 1);
+        assert_eq!(code_of(&c1, &[0, 1, 2]), code_of(&c2, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn different_angles_make_different_patterns() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.5).rz(0, 0.9);
+        let a = code_of(&c, &[0]);
+        let b = code_of(&c, &[1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symbolic_angles_unify_parameterized_instances() {
+        use paqoc_circuit::{Angle, GateKind};
+        let mut c = Circuit::new(2);
+        c.apply(GateKind::Rz, vec![0], vec![Angle::sym("g", 0.3)]);
+        c.apply(GateKind::Rz, vec![1], vec![Angle::sym("g", 1.9)]);
+        // Different numeric values, same symbol: same pattern.
+        assert_eq!(code_of(&c, &[0]), code_of(&c, &[1]));
+    }
+
+    #[test]
+    fn swap_decomposition_has_a_stable_code() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(1, 0).cx(0, 1);
+        let code = code_of(&c, &[0, 1, 2]);
+        assert_eq!(code, "cx(0,1);cx(1,0);cx(0,1)");
+    }
+
+    #[test]
+    fn direction_of_dependence_matters() {
+        // cx then rz ≠ rz then cx on the same qubit pair.
+        let mut forward = Circuit::new(2);
+        forward.cx(0, 1).rz(1, 0.7);
+        let mut backward = Circuit::new(2);
+        backward.rz(1, 0.7).cx(0, 1);
+        assert_ne!(code_of(&forward, &[0, 1]), code_of(&backward, &[0, 1]));
+    }
+}

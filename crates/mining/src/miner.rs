@@ -1,0 +1,324 @@
+//! Frequent-subcircuit mining by pattern growth.
+//!
+//! Level-wise growth in the spirit of GraMi/gSpan, specialized to
+//! circuit DAGs: instances grow by absorbing an adjacent gate, stay
+//! *convex* (so they remain collapsible subcircuits), respect the
+//! APA-basis qubit cap, and are grouped by canonical code. Support is
+//! anti-monotone under this instance semantics, so infrequent patterns
+//! prune their whole extension subtree.
+
+use crate::canon::canonical_code;
+use crate::graph::{CircuitGraph, Reachability};
+use paqoc_circuit::Circuit;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Mining configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinerOptions {
+    /// Minimum number of instances for a pattern to be frequent
+    /// (the paper's `M = inf` mode keeps "any gate sequence that appears
+    /// more than twice", i.e. support ≥ 2).
+    pub min_support: usize,
+    /// Maximum distinct qubits per pattern (the paper's `maxN`).
+    pub max_qubits: usize,
+    /// Maximum gates per pattern.
+    pub max_gates: usize,
+    /// Cap on instances tracked per pattern (keeps worst-case growth
+    /// polynomial; patterns at the cap are already decisively frequent).
+    pub max_instances_per_pattern: usize,
+    /// Cap on patterns carried to the next growth level (top by support).
+    pub beam_width: usize,
+}
+
+impl Default for MinerOptions {
+    fn default() -> Self {
+        MinerOptions {
+            min_support: 2,
+            max_qubits: 3,
+            max_gates: 6,
+            max_instances_per_pattern: 512,
+            beam_width: 256,
+        }
+    }
+}
+
+/// A frequent subcircuit pattern.
+#[derive(Clone, Debug)]
+pub struct Pattern {
+    /// Canonical structural code (stable pattern identity).
+    pub code: String,
+    /// Number of gates in the pattern.
+    pub num_gates: usize,
+    /// Number of distinct qubits the pattern touches.
+    pub num_qubits: usize,
+    /// All embeddings found, each a sorted list of instruction indices.
+    pub instances: Vec<Vec<usize>>,
+}
+
+impl Pattern {
+    /// Support = number of embeddings (possibly overlapping).
+    pub fn support(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Greedy maximum set of pairwise-disjoint instances, in circuit
+    /// order. This is what substitution uses.
+    pub fn disjoint_instances(&self) -> Vec<Vec<usize>> {
+        let mut used: HashSet<usize> = HashSet::new();
+        let mut picked = Vec::new();
+        let mut ordered = self.instances.clone();
+        ordered.sort_by_key(|inst| inst[0]);
+        for inst in ordered {
+            if inst.iter().all(|i| !used.contains(i)) {
+                used.extend(inst.iter().copied());
+                picked.push(inst);
+            }
+        }
+        picked
+    }
+
+    /// Coverage = gates covered by the disjoint instances; the selection
+    /// criterion the paper uses to choose among overlapping patterns.
+    pub fn coverage(&self) -> usize {
+        self.disjoint_instances().len() * self.num_gates
+    }
+}
+
+/// Mines frequent subcircuits of a physical circuit.
+///
+/// Returns patterns with at least `opts.min_support` embeddings and at
+/// least 2 gates, sorted by coverage (descending), then by size.
+///
+/// # Examples
+///
+/// ```
+/// use paqoc_circuit::Circuit;
+/// use paqoc_mining::{mine_frequent_subcircuits, MinerOptions};
+///
+/// let mut c = Circuit::new(3);
+/// // Two CPHASE skeletons: cx·rz·cx twice.
+/// c.cx(0, 1).rz(1, 0.7).cx(0, 1);
+/// c.cx(1, 2).rz(2, 0.7).cx(1, 2);
+/// let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
+/// assert!(patterns.iter().any(|p| p.num_gates == 3 && p.support() == 2));
+/// ```
+pub fn mine_frequent_subcircuits(circuit: &Circuit, opts: &MinerOptions) -> Vec<Pattern> {
+    let graph = CircuitGraph::from_circuit(circuit);
+    let reach = Reachability::new(&graph);
+    if graph.is_empty() {
+        return Vec::new();
+    }
+
+    // Level 1: single gates grouped by label.
+    let mut by_code: HashMap<String, Vec<Vec<usize>>> = HashMap::new();
+    for v in 0..graph.len() {
+        by_code
+            .entry(graph.label(v).to_string())
+            .or_default()
+            .push(vec![v]);
+    }
+    let mut frontier: Vec<(String, Vec<Vec<usize>>)> = by_code
+        .into_iter()
+        .filter(|(_, inst)| inst.len() >= opts.min_support)
+        .collect();
+    frontier.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+    frontier.truncate(opts.beam_width);
+
+    let mut results: Vec<Pattern> = Vec::new();
+
+    for _level in 2..=opts.max_gates {
+        let mut next: HashMap<String, Vec<Vec<usize>>> = HashMap::new();
+        let mut seen_sets: HashSet<Vec<usize>> = HashSet::new();
+        for (_, instances) in &frontier {
+            for inst in instances {
+                let members: HashSet<usize> = inst.iter().copied().collect();
+                let qubits: BTreeSet<usize> = inst
+                    .iter()
+                    .flat_map(|&v| graph.qubits(v).iter().copied())
+                    .collect();
+                // Candidate extensions: neighbours of any member.
+                let mut cands: BTreeSet<usize> = BTreeSet::new();
+                for &v in inst {
+                    for nb in graph.neighbors(v) {
+                        if !members.contains(&nb) {
+                            cands.insert(nb);
+                        }
+                    }
+                }
+                for cand in cands {
+                    let mut new_qubits = qubits.clone();
+                    new_qubits.extend(graph.qubits(cand).iter().copied());
+                    if new_qubits.len() > opts.max_qubits {
+                        continue;
+                    }
+                    let mut grown: Vec<usize> = inst.clone();
+                    grown.push(cand);
+                    grown.sort_unstable();
+                    if seen_sets.contains(&grown) {
+                        continue;
+                    }
+                    if !reach.is_convex(&grown) {
+                        continue;
+                    }
+                    seen_sets.insert(grown.clone());
+                    let code = canonical_code(&graph, &grown);
+                    let bucket = next.entry(code).or_default();
+                    if bucket.len() < opts.max_instances_per_pattern {
+                        bucket.push(grown);
+                    }
+                }
+            }
+        }
+        let mut level_patterns: Vec<(String, Vec<Vec<usize>>)> = next
+            .into_iter()
+            .filter(|(_, inst)| inst.len() >= opts.min_support)
+            .collect();
+        if level_patterns.is_empty() {
+            break;
+        }
+        level_patterns.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        level_patterns.truncate(opts.beam_width);
+
+        for (code, instances) in &level_patterns {
+            let sample = &instances[0];
+            let num_qubits = sample
+                .iter()
+                .flat_map(|&v| graph.qubits(v).iter().copied())
+                .collect::<BTreeSet<usize>>()
+                .len();
+            results.push(Pattern {
+                code: code.clone(),
+                num_gates: sample.len(),
+                num_qubits,
+                instances: instances.clone(),
+            });
+        }
+        frontier = level_patterns;
+    }
+
+    results.sort_by(|a, b| {
+        b.coverage()
+            .cmp(&a.coverage())
+            .then(b.num_gates.cmp(&a.num_gates))
+            .then(a.code.cmp(&b.code))
+    });
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_swap_pattern_in_a_cx_ladder() {
+        // Three SWAP decompositions on different qubit pairs.
+        let mut c = Circuit::new(4);
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            c.cx(a, b).cx(b, a).cx(a, b);
+        }
+        let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
+        let swap = patterns
+            .iter()
+            .find(|p| p.code == "cx(0,1);cx(1,0);cx(0,1)")
+            .expect("swap pattern found");
+        assert_eq!(swap.support(), 3);
+        assert_eq!(swap.num_qubits, 2);
+    }
+
+    #[test]
+    fn respects_the_qubit_cap() {
+        let mut c = Circuit::new(5);
+        for q in 0..4 {
+            c.cx(q, q + 1);
+        }
+        let opts = MinerOptions {
+            max_qubits: 2,
+            ..MinerOptions::default()
+        };
+        for p in mine_frequent_subcircuits(&c, &opts) {
+            assert!(p.num_qubits <= 2, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn respects_the_gate_cap() {
+        let mut c = Circuit::new(2);
+        for _ in 0..10 {
+            c.rz(0, 0.4).rz(1, 0.4);
+        }
+        let opts = MinerOptions {
+            max_gates: 3,
+            ..MinerOptions::default()
+        };
+        for p in mine_frequent_subcircuits(&c, &opts) {
+            assert!(p.num_gates <= 3, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn infrequent_patterns_are_dropped() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1); // appears once
+        c.x(0).x(1); // x appears twice
+        let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
+        assert!(
+            patterns.iter().all(|p| p.support() >= 2),
+            "{patterns:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_instances_do_not_overlap() {
+        // Overlapping rz-rz chains: rz(0) rz(0) rz(0) gives instances
+        // {0,1} and {1,2} — only one can be picked.
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.4).rz(0, 0.4).rz(0, 0.4);
+        let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
+        let chain = patterns
+            .iter()
+            .find(|p| p.num_gates == 2)
+            .expect("2-gate chain mined");
+        assert!(chain.support() >= 2);
+        assert_eq!(chain.disjoint_instances().len(), 1);
+    }
+
+    #[test]
+    fn parameterized_circuits_mine_by_symbol() {
+        use paqoc_circuit::{Angle, GateKind};
+        let mut c = Circuit::new(4);
+        for (a, b) in [(0usize, 1usize), (2, 3)] {
+            c.cx(a, b);
+            c.apply(GateKind::Rz, vec![b], vec![Angle::sym("gamma", 0.3 + a as f64)]);
+            c.cx(a, b);
+        }
+        let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
+        let cphase = patterns
+            .iter()
+            .find(|p| p.num_gates == 3 && p.num_qubits == 2)
+            .expect("parameterized cphase pattern");
+        assert_eq!(cphase.support(), 2);
+        assert!(cphase.code.contains("gamma"));
+    }
+
+    #[test]
+    fn empty_circuit_mines_nothing() {
+        let c = Circuit::new(3);
+        assert!(mine_frequent_subcircuits(&c, &MinerOptions::default()).is_empty());
+    }
+
+    #[test]
+    fn instances_are_convex() {
+        // cx(0,1), h(1), cx(0,1), cx(0,1) — the pair {0,2} is blocked by
+        // h; the pair {2,3} is fine.
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).h(1).cx(0, 1).cx(0, 1);
+        let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
+        let g = CircuitGraph::from_circuit(&c);
+        let r = Reachability::new(&g);
+        for p in &patterns {
+            for inst in &p.instances {
+                assert!(r.is_convex(inst), "{inst:?} not convex");
+            }
+        }
+    }
+}

@@ -1,0 +1,581 @@
+//! The seventeen Table-I application benchmarks.
+//!
+//! RevLib/ScaffCC netlists are not redistributable here, so each
+//! generator synthesizes a structurally faithful circuit: the same
+//! algorithm family, qubit count, and gate mix as the paper's Table I
+//! (Toffoli networks, adders, oracles, QFT/QAOA/QPE structure, …). The
+//! experiments depend on circuit *structure* — recurring subcircuits,
+//! dependence shape, criticality — which these generators reproduce.
+
+use paqoc_circuit::{Angle, Circuit, GateKind};
+use std::f64::consts::PI;
+
+/// A named benchmark circuit generator.
+#[derive(Clone, Copy)]
+pub struct Benchmark {
+    /// Table-I name.
+    pub name: &'static str,
+    /// Table-I description.
+    pub description: &'static str,
+    /// Builds the logical circuit.
+    pub build: fn() -> Circuit,
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Benchmark").field("name", &self.name).finish()
+    }
+}
+
+/// All seventeen Table-I benchmarks, in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "mod5d2_64",
+            description: "Toffoli network",
+            build: mod5d2,
+        },
+        Benchmark {
+            name: "rd32_270",
+            description: "Bit adder",
+            build: rd32,
+        },
+        Benchmark {
+            name: "decod24-v1_41",
+            description: "Binary decoder",
+            build: decod24,
+        },
+        Benchmark {
+            name: "4gt10-v1_81",
+            description: "4 greater than 10",
+            build: gt10,
+        },
+        Benchmark {
+            name: "cnt3-5_179",
+            description: "Ternary counter",
+            build: cnt3_5,
+        },
+        Benchmark {
+            name: "hwb4_49",
+            description: "Hidden weighted bit",
+            build: hwb4,
+        },
+        Benchmark {
+            name: "ham7_104",
+            description: "Hamming code",
+            build: ham7,
+        },
+        Benchmark {
+            name: "majority_239",
+            description: "Majority function",
+            build: majority,
+        },
+        Benchmark {
+            name: "bv",
+            description: "Bernstein Vazirani",
+            build: bv,
+        },
+        Benchmark {
+            name: "adder",
+            description: "Cuccaro Adder",
+            build: cuccaro_adder,
+        },
+        Benchmark {
+            name: "qft",
+            description: "QFT",
+            build: qft,
+        },
+        Benchmark {
+            name: "qaoa",
+            description: "QAOA",
+            build: qaoa,
+        },
+        Benchmark {
+            name: "supre",
+            description: "Supremacy",
+            build: supremacy,
+        },
+        Benchmark {
+            name: "simon",
+            description: "Simon's algorithm",
+            build: simon,
+        },
+        Benchmark {
+            name: "qpe",
+            description: "QPE",
+            build: qpe,
+        },
+        Benchmark {
+            name: "dnn",
+            description: "Deep neural network",
+            build: dnn,
+        },
+        Benchmark {
+            name: "bb84",
+            description: "Crypto. proto",
+            build: bb84,
+        },
+    ]
+}
+
+/// Looks a benchmark up by its Table-I name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// `mod5d2_64` — 16-qubit Toffoli network computing x mod 5 digits.
+fn mod5d2(/* 16q, ~28 1q + 25 2q */) -> Circuit {
+    let mut c = Circuit::new(16);
+    // A cascade of Toffoli stages folding pairs into carry lines,
+    // interleaved with CX corrections, RevLib-style.
+    for k in 0..4 {
+        let a = 3 * k;
+        c.ccx(a, a + 1, a + 2);
+        c.cx(a + 2, a + 3);
+    }
+    for k in 0..3 {
+        c.cx(3 * k + 2, 14);
+        c.x(3 * k + 1);
+    }
+    c.ccx(12, 13, 15).cx(14, 15).x(15);
+    c
+}
+
+/// `rd32_270` — 5-qubit bit adder (two MAJ stages plus sum fixups).
+fn rd32() -> Circuit {
+    let mut c = Circuit::new(5);
+    for _ in 0..3 {
+        // MAJ
+        c.cx(2, 1).cx(2, 0).ccx(0, 1, 2);
+        // partial UMA with sum extraction
+        c.ccx(0, 1, 3).cx(2, 4).cx(0, 1);
+        c.x(0).h(4);
+    }
+    c
+}
+
+/// `decod24-v1_41` — 2-to-4 binary decoder on 5 qubits.
+fn decod24() -> Circuit {
+    let mut c = Circuit::new(5);
+    for _ in 0..3 {
+        c.x(0).ccx(0, 1, 2).x(0);
+        c.x(1).ccx(0, 1, 3).x(1);
+        c.ccx(0, 1, 4).cx(2, 3).cx(3, 4);
+    }
+    c
+}
+
+/// `4gt10-v1_81` — "4 greater than 10" comparator on 5 qubits.
+fn gt10() -> Circuit {
+    let mut c = Circuit::new(5);
+    for _ in 0..4 {
+        c.ccx(0, 1, 4).ccx(2, 3, 4);
+        c.cx(1, 2).cx(3, 4).x(2);
+        c.ccx(1, 2, 3).cx(0, 1).x(0);
+    }
+    c
+}
+
+/// `cnt3-5_179` — 16-qubit ternary counter.
+fn cnt3_5() -> Circuit {
+    let mut c = Circuit::new(16);
+    for round in 0..3 {
+        for k in 0..5 {
+            let a = k * 3;
+            c.ccx(a, a + 1, a + 2);
+            c.cx(a, a + 1);
+            if round % 2 == 0 {
+                c.x(a);
+            }
+        }
+        c.cx(2, 15).cx(5, 15).cx(8, 15);
+    }
+    c
+}
+
+/// `hwb4_49` — hidden-weighted-bit on 5 qubits (dense mixed network).
+fn hwb4() -> Circuit {
+    let mut c = Circuit::new(5);
+    for r in 0..5 {
+        c.ccx(r % 5, (r + 1) % 5, (r + 2) % 5);
+        c.cx((r + 2) % 5, (r + 3) % 5);
+        c.cx((r + 3) % 5, (r + 4) % 5);
+        c.x((r + 1) % 5);
+        c.ccx((r + 3) % 5, (r + 4) % 5, r % 5);
+    }
+    c
+}
+
+/// `ham7_104` — Hamming(7,4) coding network on 16 qubits.
+fn ham7() -> Circuit {
+    let mut c = Circuit::new(16);
+    for r in 0..4 {
+        // parity computation
+        for (a, b) in [(0usize, 3usize), (1, 3), (2, 3), (0, 4), (1, 4), (2, 5)] {
+            c.cx(a + r, b + r);
+        }
+        c.ccx(r, r + 1, r + 6);
+        c.ccx(r + 2, r + 3, r + 7);
+        c.x(r + 6).h(r + 8);
+        c.ccx(r + 6, r + 7, r + 8);
+    }
+    c
+}
+
+/// `majority_239` — 16-qubit majority-vote network (the paper's largest
+/// reversible benchmark, ~600 basis gates).
+fn majority() -> Circuit {
+    let mut c = Circuit::new(16);
+    for round in 0..6 {
+        for k in 0..7 {
+            let a = k * 2;
+            c.ccx(a, a + 1, (a + 2) % 16);
+            c.cx((a + 2) % 16, (a + 3) % 16);
+        }
+        for q in 0..4 {
+            c.x(q + round % 4);
+        }
+        c.ccx(0, 8, 15).ccx(4, 12, 15);
+    }
+    c
+}
+
+/// `bv` — Bernstein–Vazirani on 21 qubits with the all-ones hidden
+/// string (a linear CX oracle, the paper's SWAP-pattern source;
+/// Table I counts: 43 one-qubit gates, 20 two-qubit gates).
+fn bv() -> Circuit {
+    let n = 21;
+    let mut c = Circuit::new(n);
+    let target = n - 1;
+    c.x(target).h(target);
+    for q in 0..target {
+        c.h(q);
+    }
+    for q in 0..target {
+        c.cx(q, target);
+    }
+    for q in 0..target {
+        c.h(q);
+    }
+    c
+}
+
+/// `adder` — the Cuccaro ripple-carry adder on 18 qubits
+/// (8+8 operand bits, carry-in, carry-out), built from MAJ/UMA blocks.
+fn cuccaro_adder() -> Circuit {
+    let bits = 8;
+    let mut c = Circuit::new(2 * bits + 2);
+    // Layout: c0 = qubit 0, a_i = 1+2i, b_i = 2+2i, carry-out = last.
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+    maj(&mut c, 0, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(bits - 1), 2 * bits + 1);
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, 0, b(0), a(0));
+    c
+}
+
+/// `qft` — the 16-qubit quantum Fourier transform.
+fn qft() -> Circuit {
+    let n = 16;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+        for t in (q + 1)..n {
+            let angle = PI / f64::powi(2.0, (t - q) as i32);
+            c.cp(t, q, angle);
+        }
+    }
+    for q in 0..n / 2 {
+        c.swap(q, n - 1 - q);
+    }
+    c
+}
+
+/// `qaoa` — 3 rounds of QAOA-MaxCut on a 3-regular 10-vertex graph,
+/// with symbolic per-round parameters (the parameterized-circuit case).
+fn qaoa() -> Circuit {
+    let n = 10;
+    let mut c = Circuit::new(n);
+    // 3-regular circulant graph: edges (i, i+1) and (i, i+5).
+    let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    edges.extend((0..n / 2).map(|i| (i, i + 5)));
+    for q in 0..n {
+        c.h(q);
+    }
+    for round in 0..3 {
+        let gamma = Angle::sym(format!("gamma{round}"), 0.4 + 0.2 * round as f64);
+        let beta = 0.3 + 0.15 * round as f64;
+        for &(u, v) in &edges {
+            c.apply(GateKind::CPhase, vec![u, v], vec![gamma.clone()]);
+        }
+        for q in 0..n {
+            c.apply(
+                GateKind::Rx,
+                vec![q],
+                vec![Angle::sym(format!("beta{round}"), beta)],
+            );
+        }
+    }
+    c
+}
+
+/// `supre` — a 25-qubit quantum-supremacy-style random circuit:
+/// H layer, repeated nearest-neighbour CZ pattern with interspersed
+/// √X/√Y/T gates, H layer (deterministic pseudo-random choices).
+fn supremacy() -> Circuit {
+    let (rows, cols) = (5usize, 5usize);
+    let n = rows * cols;
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    let mut pick = 7u64;
+    let mut next = || {
+        pick = pick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (pick >> 33) % 3
+    };
+    for layer in 0..4 {
+        // CZ pattern: alternate horizontal/vertical pairings.
+        if layer % 2 == 0 {
+            for r in 0..rows {
+                for col in (layer / 2 % 2..cols - 1).step_by(2) {
+                    c.cz(r * cols + col, r * cols + col + 1);
+                }
+            }
+        } else {
+            for r in (layer / 2 % 2..rows - 1).step_by(2) {
+                for col in 0..cols {
+                    c.cz(r * cols + col, (r + 1) * cols + col);
+                }
+            }
+        }
+        for q in 0..n {
+            match next() {
+                0 => {
+                    c.sx(q);
+                }
+                1 => {
+                    c.apply(GateKind::Ry, vec![q], vec![Angle::new(PI / 2.0)]);
+                }
+                _ => {
+                    c.t(q);
+                }
+            }
+        }
+    }
+    for q in 0..n {
+        c.h(q);
+    }
+    c
+}
+
+/// `simon` — Simon's algorithm on 6 qubits (3+3) with secret `s = 110`.
+fn simon() -> Circuit {
+    let mut c = Circuit::new(6);
+    for q in 0..3 {
+        c.h(q);
+    }
+    // Oracle: copy + secret-string XOR masked by q0.
+    c.cx(0, 3).cx(1, 4).cx(2, 5);
+    c.cx(0, 4).cx(0, 5);
+    for q in 0..3 {
+        c.h(q);
+    }
+    c.x(3).cx(3, 4);
+    c
+}
+
+/// `qpe` — quantum phase estimation with 8 counting qubits on 9 qubits.
+fn qpe() -> Circuit {
+    let n = 9;
+    let counting = 8;
+    let mut c = Circuit::new(n);
+    c.x(n - 1);
+    for q in 0..counting {
+        c.h(q);
+    }
+    for q in 0..counting {
+        let angle = 2.0 * PI * 0.3125 * f64::powi(2.0, q as i32);
+        c.cp(q, n - 1, angle % (2.0 * PI));
+    }
+    // Inverse QFT on the counting register (no swaps, compact form).
+    for q in (0..counting).rev() {
+        for t in (q + 1)..counting {
+            c.cp(t, q, -PI / f64::powi(2.0, (t - q) as i32));
+        }
+        c.h(q);
+    }
+    c
+}
+
+/// `dnn` — an 8-qubit quantum neural-network ansatz: many dense
+/// entangling layers (the paper's most two-qubit-heavy benchmark).
+fn dnn() -> Circuit {
+    let n = 8;
+    let mut c = Circuit::new(n);
+    for layer in 0..12 {
+        for q in 0..n {
+            c.ry(q, 0.1 + 0.05 * (layer * n + q) as f64);
+        }
+        // all-to-all entangler
+        for a in 0..n {
+            for b in (a + 1)..n {
+                c.cx(a, b);
+                if (a + b + layer) % 2 == 0 {
+                    c.cz(a, b);
+                }
+            }
+        }
+        for q in 0..n {
+            c.rz(q, 0.2 + 0.01 * q as f64);
+        }
+    }
+    c
+}
+
+/// `bb84` — the BB84 preparation circuit: single-qubit gates only.
+fn bb84() -> Circuit {
+    let mut c = Circuit::new(8);
+    // bit choices and basis choices, deterministic pattern
+    let bits = [1, 0, 1, 1, 0, 0, 1, 0];
+    let bases = [0, 1, 1, 0, 1, 0, 0, 1];
+    for q in 0..8 {
+        if bits[q] == 1 {
+            c.x(q);
+        }
+        if bases[q] == 1 {
+            c.h(q);
+        }
+    }
+    for q in 0..8 {
+        if (bits[q] + bases[q]) % 2 == 0 {
+            c.t(q);
+        } else {
+            c.s(q);
+        }
+    }
+    // Measurement-basis rotations for the receiver side.
+    for q in 0..8 {
+        if bases[q] == 0 {
+            c.h(q);
+        } else {
+            c.x(q);
+        }
+    }
+    c.h(0).h(3).x(5);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paqoc_circuit::{decompose, Basis};
+
+    #[test]
+    fn seventeen_benchmarks_exist() {
+        assert_eq!(all_benchmarks().len(), 17);
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        assert!(benchmark("qft").is_some());
+        assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn qubit_counts_match_table_one() {
+        let expect = [
+            ("mod5d2_64", 16),
+            ("rd32_270", 5),
+            ("decod24-v1_41", 5),
+            ("4gt10-v1_81", 5),
+            ("cnt3-5_179", 16),
+            ("hwb4_49", 5),
+            ("ham7_104", 16),
+            ("majority_239", 16),
+            ("bv", 21),
+            ("adder", 18),
+            ("qft", 16),
+            ("qaoa", 10),
+            ("supre", 25),
+            ("simon", 6),
+            ("qpe", 9),
+            ("dnn", 8),
+            ("bb84", 8),
+        ];
+        for (name, qubits) in expect {
+            let b = benchmark(name).expect(name);
+            assert_eq!((b.build)().num_qubits(), qubits, "{name}");
+        }
+    }
+
+    #[test]
+    fn every_benchmark_lowers_to_the_ibm_basis() {
+        for b in all_benchmarks() {
+            let c = (b.build)();
+            let low = decompose(&c, Basis::Ibm);
+            assert!(low.len() >= c.len(), "{}", b.name);
+            assert!(
+                low.iter().all(|i| Basis::Ibm.contains(i.gate())),
+                "{}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn bb84_has_no_two_qubit_gates() {
+        let c = (benchmark("bb84").expect("exists").build)();
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert!(c.one_qubit_gate_count() >= 20);
+    }
+
+    #[test]
+    fn dnn_is_two_qubit_heavy() {
+        let c = (benchmark("dnn").expect("exists").build)();
+        assert!(c.two_qubit_gate_count() > 3 * c.one_qubit_gate_count() / 2);
+        assert!(c.two_qubit_gate_count() > 400);
+    }
+
+    #[test]
+    fn benchmarks_are_deterministic() {
+        for b in all_benchmarks() {
+            assert_eq!((b.build)(), (b.build)(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn qaoa_is_parameterized_symbolically() {
+        let c = (benchmark("qaoa").expect("exists").build)();
+        let has_symbol = c.iter().any(|i| {
+            i.params()
+                .iter()
+                .any(|a| a.symbol.as_deref() == Some("gamma0"))
+        });
+        assert!(has_symbol);
+    }
+
+    #[test]
+    fn adder_alternates_maj_uma() {
+        let c = (benchmark("adder").expect("exists").build)();
+        // MAJ/UMA structure: 3 gates each, 8+8 blocks plus carry CX.
+        assert_eq!(c.len(), 3 * 8 + 1 + 3 * 8);
+        assert_eq!(c.gate_count_by_arity(3), 16); // one CCX per block
+    }
+}

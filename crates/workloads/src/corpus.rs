@@ -1,0 +1,176 @@
+//! The 150-benchmark observation corpus (paper Section III-B, Fig. 6).
+//!
+//! The paper derives Observations 1 and 2 from 150 RevLib/ScaffCC
+//! benchmarks; this module generates a deterministic, structurally
+//! similar corpus (mixed Toffoli/CX/1-qubit reversible networks of
+//! varying width and length) and the subcircuit extractor: maximal
+//! consecutive runs of gates confined to the same ≤ `max_qubits` qubit
+//! set, exactly the unit the paper compares merged-vs-summed latency on.
+
+use paqoc_circuit::{decompose, Basis, Circuit, Instruction};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Generates the `count`-circuit corpus (the paper uses 150).
+///
+/// Circuits are reversible-network style: CCX/CX/X/H/T/RZ mixes over
+/// 4–16 qubits, 20–200 gates, fully deterministic from `seed`.
+pub fn corpus(count: usize, seed: u64) -> Vec<Circuit> {
+    (0..count)
+        .map(|i| random_reversible_circuit(seed.wrapping_add(i as u64)))
+        .collect()
+}
+
+/// One deterministic reversible-network circuit.
+pub fn random_reversible_circuit(seed: u64) -> Circuit {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(4..=16usize);
+    let gates = rng.random_range(20..=200usize);
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        match rng.random_range(0..10u32) {
+            0..=2 => {
+                // Toffoli on three distinct qubits.
+                let (a, b, t) = three_distinct(&mut rng, n);
+                c.ccx(a, b, t);
+            }
+            3..=6 => {
+                let (a, b) = two_distinct(&mut rng, n);
+                c.cx(a, b);
+            }
+            7 => {
+                let q = rng.random_range(0..n);
+                c.x(q);
+            }
+            8 => {
+                let q = rng.random_range(0..n);
+                c.h(q);
+            }
+            _ => {
+                let q = rng.random_range(0..n);
+                c.rz(q, rng.random_range(0.0..std::f64::consts::TAU));
+            }
+        }
+    }
+    c
+}
+
+fn two_distinct(rng: &mut impl Rng, n: usize) -> (usize, usize) {
+    let a = rng.random_range(0..n);
+    let mut b = rng.random_range(0..n - 1);
+    if b >= a {
+        b += 1;
+    }
+    (a, b)
+}
+
+fn three_distinct(rng: &mut impl Rng, n: usize) -> (usize, usize, usize) {
+    let (a, b) = two_distinct(rng, n);
+    let mut t = rng.random_range(0..n);
+    while t == a || t == b {
+        t = rng.random_range(0..n);
+    }
+    (a, b, t)
+}
+
+/// Extracts the paper's observation units from a circuit: maximal
+/// consecutive gate runs confined to the same qubit set of at most
+/// `max_qubits` qubits (after lowering to the universal basis).
+///
+/// Returns runs of length ≥ 2 (a single gate merges with nothing).
+pub fn extract_subcircuits(circuit: &Circuit, max_qubits: usize) -> Vec<Vec<Instruction>> {
+    let lowered = decompose(circuit, Basis::Ibm);
+    let mut runs: Vec<Vec<Instruction>> = Vec::new();
+    // Greedy sweep: maintain one open run per "qubit-set window"; a gate
+    // extends the newest run when the union stays within max_qubits and
+    // no dependence from outside intervenes (tracked per qubit).
+    let mut open: Option<(BTreeSet<usize>, Vec<Instruction>)> = None;
+    for inst in lowered.iter() {
+        let qs: BTreeSet<usize> = inst.qubits().iter().copied().collect();
+        match open.take() {
+            Some((mut set, mut insts)) => {
+                let union: BTreeSet<usize> = set.union(&qs).copied().collect();
+                if union.len() <= max_qubits {
+                    set = union;
+                    insts.push(inst.clone());
+                    open = Some((set, insts));
+                } else {
+                    if insts.len() >= 2 {
+                        runs.push(insts);
+                    }
+                    open = Some((qs, vec![inst.clone()]));
+                }
+            }
+            None => {
+                open = Some((qs, vec![inst.clone()]));
+            }
+        }
+    }
+    if let Some((_, insts)) = open {
+        if insts.len() >= 2 {
+            runs.push(insts);
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let a = corpus(10, 42);
+        let b = corpus(10, 42);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, b);
+        for c in &a {
+            assert!((4..=16).contains(&c.num_qubits()));
+            assert!((20..=200).contains(&c.len()));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(corpus(3, 1), corpus(3, 2));
+    }
+
+    #[test]
+    fn extracted_runs_respect_the_qubit_cap() {
+        for c in corpus(5, 7) {
+            for run in extract_subcircuits(&c, 3) {
+                let qubits: BTreeSet<usize> = run
+                    .iter()
+                    .flat_map(|i| i.qubits().iter().copied())
+                    .collect();
+                assert!(qubits.len() <= 3);
+                assert!(run.len() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_consecutive_in_the_lowered_circuit() {
+        // Every run's gates must appear as a contiguous subsequence.
+        let c = random_reversible_circuit(9);
+        let lowered = decompose(&c, Basis::Ibm);
+        let all: Vec<String> = lowered.iter().map(|i| format!("{i}")).collect();
+        for run in extract_subcircuits(&c, 3) {
+            let run_strs: Vec<String> = run.iter().map(|i| format!("{i}")).collect();
+            let found = all
+                .windows(run_strs.len())
+                .any(|w| w == run_strs.as_slice());
+            assert!(found, "run not contiguous: {run_strs:?}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_extraction_works() {
+        let mut c = Circuit::new(2);
+        c.rz(0, 0.1).rz(0, 0.2).rz(0, 0.3).cx(0, 1);
+        let runs = extract_subcircuits(&c, 1);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 3);
+    }
+}

@@ -1,0 +1,25 @@
+//! # paqoc-workloads
+//!
+//! The evaluation workloads of the PAQOC reproduction: generators for
+//! the seventeen Table-I application benchmarks ([`all_benchmarks`]) and
+//! the 150-circuit reversible-network observation corpus with the
+//! paper's subcircuit extractor ([`corpus`], [`extract_subcircuits`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use paqoc_workloads::{all_benchmarks, benchmark};
+//!
+//! assert_eq!(all_benchmarks().len(), 17);
+//! let qft = benchmark("qft").expect("qft exists");
+//! assert_eq!((qft.build)().num_qubits(), 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benchmarks;
+mod corpus;
+
+pub use benchmarks::{all_benchmarks, benchmark, Benchmark};
+pub use corpus::{corpus, extract_subcircuits, random_reversible_circuit};

@@ -1,0 +1,50 @@
+//! # paqoc
+//!
+//! A reproduction of **PAQOC** — *"A Pulse Generation Framework with
+//! Augmented Program-aware Basis Gates and Criticality Analysis"*
+//! (HPCA 2023) — as a Rust workspace. This facade crate re-exports the
+//! member crates:
+//!
+//! * [`math`] — complex linear algebra (matrices, `expm`, Weyl
+//!   coordinates, fidelities);
+//! * [`circuit`] — the circuit IR, dependence DAG, basis lowering, QASM;
+//! * [`device`] — topologies, transmon-XY control Hamiltonians, the
+//!   analytic latency model behind [`device::PulseSource`];
+//! * [`grape`] — the real GRAPE optimizer, minimum-duration search and
+//!   pulse simulation;
+//! * [`mapping`] — SABRE qubit mapping/routing;
+//! * [`mining`] — frequent-subcircuit mining and APA-basis selection;
+//! * [`core`] — PAQOC itself: criticality-aware customized gates,
+//!   the pulse table and the end-to-end [`core::compile`] pipeline;
+//! * [`accqoc`] — the AccQOC baseline;
+//! * [`workloads`] — the seventeen Table-I benchmarks and the
+//!   150-circuit observation corpus.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use paqoc::circuit::Circuit;
+//! use paqoc::core::{compile, PipelineOptions};
+//! use paqoc::device::{AnalyticModel, Device};
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let device = Device::grid5x5();
+//! let mut source = AnalyticModel::new();
+//! let result = compile(&bell, &device, &mut source, &PipelineOptions::m0());
+//! println!("latency: {} dt, ESP: {:.4}", result.latency_dt, result.esp);
+//! # assert!(result.latency_dt > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use paqoc_accqoc as accqoc;
+pub use paqoc_circuit as circuit;
+pub use paqoc_core as core;
+pub use paqoc_device as device;
+pub use paqoc_grape as grape;
+pub use paqoc_mapping as mapping;
+pub use paqoc_math as math;
+pub use paqoc_mining as mining;
+pub use paqoc_workloads as workloads;

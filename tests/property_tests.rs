@@ -1,0 +1,190 @@
+//! Property-based tests over the workspace's core invariants.
+
+use paqoc::circuit::{
+    apply_gate_to_state, decompose, embed_unitary, Basis, Circuit, DependencyDag, GateKind,
+};
+use paqoc::device::{AnalyticModel, Device, PulseSource, Topology};
+use paqoc::mapping::{sabre_map, SabreOptions};
+use paqoc::math::{
+    expm, random_unitary_seeded, trace_fidelity, weyl_coordinates, C64,
+};
+use paqoc::mining::{mine_frequent_subcircuits, CircuitGraph, MinerOptions, Reachability};
+use proptest::prelude::*;
+
+/// A strategy for small random circuits over a mixed gate set.
+fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0u8..8, 0usize..max_qubits, 0usize..max_qubits, -3.0f64..3.0);
+    (2usize..=max_qubits, proptest::collection::vec(gate, 1..max_gates)).prop_map(
+        move |(n, gates)| {
+            let mut c = Circuit::new(n);
+            for (kind, a, b, theta) in gates {
+                let a = a % n;
+                let b = b % n;
+                match kind {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.x(a);
+                    }
+                    2 => {
+                        c.t(a);
+                    }
+                    3 => {
+                        c.rz(a, theta);
+                    }
+                    4 | 5 if a != b => {
+                        c.cx(a, b);
+                    }
+                    6 if a != b => {
+                        c.cz(a, b);
+                    }
+                    7 if a != b => {
+                        c.swap(a, b);
+                    }
+                    _ => {
+                        c.sx(a);
+                    }
+                }
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn decomposition_preserves_the_unitary(c in arb_circuit(4, 12)) {
+        let low = decompose(&c, Basis::Ibm);
+        let f = trace_fidelity(&c.unitary(), &low.unitary());
+        prop_assert!(f > 1.0 - 1e-8, "fidelity {f}");
+    }
+
+    #[test]
+    fn circuit_unitaries_are_unitary(c in arb_circuit(4, 12)) {
+        prop_assert!(c.unitary().is_unitary(1e-8));
+    }
+
+    #[test]
+    fn state_application_matches_matrix_action(c in arb_circuit(3, 10)) {
+        let u = c.unitary();
+        let dim = 1usize << c.num_qubits();
+        for col in [0usize, dim - 1] {
+            let mut state = vec![C64::ZERO; dim];
+            state[col] = C64::ONE;
+            for inst in c.iter() {
+                apply_gate_to_state(&inst.unitary(), inst.qubits(), &mut state);
+            }
+            for r in 0..dim {
+                prop_assert!((state[r] - u[(r, col)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn expm_of_skew_hermitian_is_unitary(seed in 0u64..500) {
+        // -i·H with random Hermitian H = A + A†.
+        let a = random_unitary_seeded(4, seed);
+        let h = &a + &a.dagger();
+        let u = expm(&h.scaled(C64::new(0.0, -0.37)));
+        prop_assert!(u.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn weyl_content_is_invariant_under_local_dressing(seed in 0u64..200) {
+        let u = random_unitary_seeded(4, seed);
+        let l1 = random_unitary_seeded(2, seed.wrapping_add(1000));
+        let l2 = random_unitary_seeded(2, seed.wrapping_add(2000));
+        let dressed = l1.kron(&l2).matmul(&u);
+        let w1 = weyl_coordinates(&u).interaction_content();
+        let w2 = weyl_coordinates(&dressed).interaction_content();
+        prop_assert!((w1 - w2).abs() < 1e-3, "{w1} vs {w2}");
+    }
+
+    #[test]
+    fn embedding_preserves_unitarity(seed in 0u64..100, q0 in 0usize..3, q1 in 0usize..3) {
+        prop_assume!(q0 != q1);
+        let g = random_unitary_seeded(4, seed);
+        let e = embed_unitary(&g, &[q0, q1], 3);
+        prop_assert!(e.is_unitary(1e-8));
+    }
+
+    #[test]
+    fn sabre_routes_every_two_qubit_gate_onto_a_coupler(c in arb_circuit(5, 14)) {
+        let topo = Topology::grid(3, 3);
+        let lowered = decompose(&c, Basis::Ibm);
+        let mapped = sabre_map(&lowered, &topo, &SabreOptions::default());
+        for inst in mapped.circuit.iter() {
+            if inst.qubits().len() == 2 {
+                prop_assert!(topo.are_coupled(inst.qubits()[0], inst.qubits()[1]));
+            }
+        }
+        prop_assert_eq!(mapped.circuit.len(), lowered.len() + mapped.swaps_inserted);
+    }
+
+    #[test]
+    fn mined_instances_are_convex_and_capped(c in arb_circuit(5, 20)) {
+        let opts = MinerOptions { max_qubits: 3, max_gates: 4, ..MinerOptions::default() };
+        let graph = CircuitGraph::from_circuit(&c);
+        let reach = Reachability::new(&graph);
+        for p in mine_frequent_subcircuits(&c, &opts) {
+            prop_assert!(p.num_qubits <= 3);
+            prop_assert!(p.num_gates <= 4);
+            prop_assert!(p.support() >= 2);
+            for inst in &p.instances {
+                prop_assert!(reach.is_convex(inst));
+            }
+        }
+    }
+
+    #[test]
+    fn observation1_merging_is_subadditive(c in arb_circuit(3, 6)) {
+        // Any whole-circuit group costs at most the sum of its gates.
+        let device = Device::grid5x5();
+        let mut model = AnalyticModel::new();
+        let group: Vec<_> = c.instructions().to_vec();
+        prop_assume!(!group.is_empty());
+        let merged = model.generate(&group, &device, 0.999, None).latency_ns;
+        let sum: f64 = group
+            .iter()
+            .map(|i| {
+                model
+                    .generate(std::slice::from_ref(i), &device, 0.999, None)
+                    .latency_ns
+            })
+            .sum();
+        prop_assert!(merged <= sum * 1.01, "merged {merged} vs sum {sum}");
+    }
+
+    #[test]
+    fn dag_critical_path_bounds_total_weight(c in arb_circuit(4, 15)) {
+        let dag = DependencyDag::from_circuit(&c);
+        prop_assume!(!dag.is_empty());
+        let weights: Vec<f64> = (0..dag.len()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let span = dag.makespan(&weights);
+        let total: f64 = weights.iter().sum();
+        let max_w = weights.iter().copied().fold(0.0, f64::max);
+        prop_assert!(span <= total + 1e-9);
+        prop_assert!(span >= max_w - 1e-9);
+    }
+
+    #[test]
+    fn gate_unitaries_respect_arity(kind in 0usize..8) {
+        let kinds = [
+            GateKind::H,
+            GateKind::X,
+            GateKind::Cx,
+            GateKind::Cz,
+            GateKind::Swap,
+            GateKind::Ccx,
+            GateKind::T,
+            GateKind::ISwap,
+        ];
+        let k = kinds[kind];
+        let u = k.unitary(&[]);
+        prop_assert_eq!(u.rows(), 1 << k.num_qubits());
+        prop_assert!(u.is_unitary(1e-10));
+    }
+}

@@ -1,0 +1,26 @@
+//! QASM round-trips across the workload suite.
+
+use paqoc::circuit::{parse_qasm, to_qasm};
+use paqoc::math::trace_fidelity;
+use paqoc::workloads::all_benchmarks;
+
+#[test]
+fn every_benchmark_roundtrips_through_qasm() {
+    for b in all_benchmarks() {
+        let c = (b.build)();
+        let text = to_qasm(&c);
+        let parsed = parse_qasm(&text).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        assert_eq!(parsed.num_qubits(), c.num_qubits(), "{}", b.name);
+        assert_eq!(parsed.len(), c.len(), "{}", b.name);
+    }
+}
+
+#[test]
+fn small_benchmark_roundtrip_preserves_unitary() {
+    // simon is small enough for a full unitary check (6 qubits).
+    let b = paqoc::workloads::benchmark("simon").expect("simon exists");
+    let c = (b.build)();
+    let parsed = parse_qasm(&to_qasm(&c)).expect("roundtrip");
+    let f = trace_fidelity(&c.unitary(), &parsed.unitary());
+    assert!(f > 1.0 - 1e-9, "fidelity {f}");
+}
