@@ -92,15 +92,18 @@ pub fn compile_accqoc(
     opts: &AccqocOptions,
 ) -> AccqocResult {
     let start = Instant::now();
+    let _compile_span = paqoc_telemetry::span("accqoc");
     let lowered = decompose(logical, Basis::Extended);
     let physical = if opts.skip_mapping {
         lowered
     } else {
+        let _s = paqoc_telemetry::span("map");
         let mapped = sabre_map(&lowered, device.topology(), &opts.sabre);
         decompose(&mapped.circuit, Basis::Extended)
     };
 
     let partition = partition_fixed(&physical, opts.max_qubits, opts.depth);
+    paqoc_telemetry::counter("accqoc.blocks", partition.blocks.len() as u64);
 
     // Group blocks by canonical key; generate one pulse per distinct
     // shape, ordered along the similarity MST so each generation warm
@@ -144,6 +147,7 @@ pub fn compile_accqoc(
 
     let mut stats = CompileStats::default();
     let mut pulse_of_key: HashMap<String, paqoc_device::PulseEstimate> = HashMap::new();
+    let generate_span = paqoc_telemetry::span("generate");
     for &(idx, parent_dist) in &order {
         let (key, block) = &distinct[idx];
         let insts: Vec<_> = block
@@ -157,7 +161,10 @@ pub fn compile_accqoc(
         stats.cost_units += est.cost_units;
         pulse_of_key.insert(key.clone(), est);
     }
+    drop(generate_span);
     stats.cache_hits = partition.blocks.len().saturating_sub(distinct.len());
+    paqoc_telemetry::counter("accqoc.distinct_shapes", distinct.len() as u64);
+    paqoc_telemetry::counter("accqoc.block_reuses", stats.cache_hits as u64);
 
     // Latency: list-schedule the blocks on their qubits (blocks arrive
     // in a valid topological order from the layered partitioner).

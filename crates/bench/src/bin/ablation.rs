@@ -28,15 +28,33 @@ fn main() {
         println!("top_k={k:<2}                  : {l:>8} dt {c:>10.1} cu {p:>5} pulses");
     }
     for maxn in [2usize, 3, 4] {
-        let (l, c, p) = run(&bench, PaqocOptions { max_qubits: maxn, ..base });
+        let (l, c, p) = run(
+            &bench,
+            PaqocOptions {
+                max_qubits: maxn,
+                ..base
+            },
+        );
         println!("maxN={maxn:<3}                 : {l:>8} dt {c:>10.1} cu {p:>5} pulses");
     }
     for crit in [true, false] {
-        let (l, c, p) = run(&bench, PaqocOptions { criticality_pruning: crit, ..base });
+        let (l, c, p) = run(
+            &bench,
+            PaqocOptions {
+                criticality_pruning: crit,
+                ..base
+            },
+        );
         println!("criticality_pruning={crit:<5}: {l:>8} dt {c:>10.1} cu {p:>5} pulses");
     }
     for pre in [true, false] {
-        let (l, c, p) = run(&bench, PaqocOptions { preprocess: pre, ..base });
+        let (l, c, p) = run(
+            &bench,
+            PaqocOptions {
+                preprocess: pre,
+                ..base
+            },
+        );
         println!("preprocess={pre:<5}         : {l:>8} dt {c:>10.1} cu {p:>5} pulses");
     }
 }

@@ -37,8 +37,7 @@ fn main() {
             })
             .collect();
         let strict = DependencyDag::from_circuit(&physical).makespan(&weights);
-        let relaxed =
-            DependencyDag::from_circuit_commutation_aware(&physical).makespan(&weights);
+        let relaxed = DependencyDag::from_circuit_commutation_aware(&physical).makespan(&weights);
         let ratio = relaxed / strict;
         sum += ratio;
         n += 1;

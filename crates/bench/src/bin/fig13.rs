@@ -29,9 +29,7 @@ fn main() {
                     .iter()
                     .map(|&i| physical.instructions()[i].gate().name())
                     .collect();
-                names
-                    .windows(3)
-                    .any(|w| w == ["cx", "rz", "cx"])
+                names.windows(3).any(|w| w == ["cx", "rz", "cx"])
             })
             .count();
         println!(
@@ -42,10 +40,15 @@ fn main() {
     }
 
     let mut src = AnalyticModel::new();
-    let r = compile(&qaoa, &device, &mut src, &PipelineOptions {
-        skip_mapping: true,
-        ..PipelineOptions::m_inf()
-    });
+    let r = compile(
+        &qaoa,
+        &device,
+        &mut src,
+        &PipelineOptions {
+            skip_mapping: true,
+            ..PipelineOptions::m_inf()
+        },
+    );
     println!(
         "paqoc miner   : {} APA-basis gates selected, covering {} gates",
         r.apa.num_apa_gates(),

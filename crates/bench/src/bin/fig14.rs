@@ -9,7 +9,10 @@ use paqoc_workloads::all_benchmarks;
 fn main() {
     let device = Device::grid5x5();
     println!("=== Fig. 14: paqoc(M=inf) compile cost vs circuit size ===");
-    println!("{:<15} {:>8} {:>14} {:>10}", "benchmark", "#gates", "cost_units", "wall_s");
+    println!(
+        "{:<15} {:>8} {:>14} {:>10}",
+        "benchmark", "#gates", "cost_units", "wall_s"
+    );
     let mut pts: Vec<(f64, f64)> = Vec::new();
     for b in all_benchmarks() {
         let c = (b.build)();

@@ -18,10 +18,22 @@ fn main() {
     let cx_alone = grape.generate(&[cx.clone()], &device, 0.99, None);
     let merged = grape.generate(&[h, cx], &device, 0.99, None);
 
-    println!("H alone      : {:>5} dt (fidelity {:.4})", h_alone.latency_dt, h_alone.fidelity);
-    println!("CX alone     : {:>5} dt (fidelity {:.4})", cx_alone.latency_dt, cx_alone.fidelity);
-    println!("separate sum : {:>5} dt   <- the paper reports 170 dt", h_alone.latency_dt + cx_alone.latency_dt);
-    println!("merged H·CX  : {:>5} dt   <- the paper reports 110 dt (fidelity {:.4})", merged.latency_dt, merged.fidelity);
+    println!(
+        "H alone      : {:>5} dt (fidelity {:.4})",
+        h_alone.latency_dt, h_alone.fidelity
+    );
+    println!(
+        "CX alone     : {:>5} dt (fidelity {:.4})",
+        cx_alone.latency_dt, cx_alone.fidelity
+    );
+    println!(
+        "separate sum : {:>5} dt   <- the paper reports 170 dt",
+        h_alone.latency_dt + cx_alone.latency_dt
+    );
+    println!(
+        "merged H·CX  : {:>5} dt   <- the paper reports 110 dt (fidelity {:.4})",
+        merged.latency_dt, merged.fidelity
+    );
     let ratio = merged.latency_dt as f64 / (h_alone.latency_dt + cx_alone.latency_dt) as f64;
     println!("merged/separate = {ratio:.2} (paper: 110/170 = 0.65)");
     assert!(merged.latency_dt < h_alone.latency_dt + cx_alone.latency_dt);

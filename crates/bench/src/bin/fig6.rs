@@ -19,7 +19,10 @@ fn main() {
     let mut model = AnalyticModel::new();
     let circuits = corpus(150, 2023);
     println!("=== Fig. 6: merged vs summed subcircuit latency (dt) ===");
-    println!("{:>4} {:>10} {:>10} {:>7} {:>6}", "#q", "sum_dt", "merged_dt", "ratio", "gates");
+    println!(
+        "{:>4} {:>10} {:>10} {:>7} {:>6}",
+        "#q", "sum_dt", "merged_dt", "ratio", "gates"
+    );
 
     let mut below = 0usize;
     let mut total = 0usize;
@@ -33,7 +36,11 @@ fn main() {
             let merged = model.generate(&run, &device, 0.999, None);
             let sum: u64 = run
                 .iter()
-                .map(|i| model.generate(std::slice::from_ref(i), &device, 0.999, None).latency_dt)
+                .map(|i| {
+                    model
+                        .generate(std::slice::from_ref(i), &device, 0.999, None)
+                        .latency_dt
+                })
                 .sum();
             total += 1;
             if merged.latency_dt <= sum {

@@ -1,0 +1,87 @@
+//! Prints a telemetry profile of one end-to-end compilation: the span
+//! tree with per-phase wall time, the pipeline counter table (merge
+//! candidates pruned, APA rejections, GRAPE iterations, …) and the
+//! pulse-table cache hit rate.
+//!
+//! Usage: `profile [benchmark] [config]` where `benchmark` is a Table-I
+//! name (default `qaoa`) and `config` is `m0`, `tuned` or `minf`
+//! (default `minf`). With `PAQOC_TRACE=<path>.jsonl` the raw trace is
+//! also dumped as JSON Lines.
+
+use paqoc_core::{compile, PipelineOptions};
+use paqoc_device::{AnalyticModel, Device};
+use paqoc_workloads::{all_benchmarks, benchmark};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench_name = args.next().unwrap_or_else(|| "qaoa".to_string());
+    let config = args.next().unwrap_or_else(|| "minf".to_string());
+
+    let Some(b) = benchmark(&bench_name) else {
+        eprintln!("unknown benchmark '{bench_name}'; available:");
+        for b in all_benchmarks() {
+            eprintln!("  {}", b.name);
+        }
+        std::process::exit(1);
+    };
+    let opts = match config.as_str() {
+        "m0" => PipelineOptions::m0(),
+        "tuned" => PipelineOptions::m_tuned(),
+        "minf" => PipelineOptions::m_inf(),
+        other => {
+            eprintln!("unknown config '{other}' (expected m0, tuned or minf)");
+            std::process::exit(1);
+        }
+    };
+    let opts = PipelineOptions {
+        trace: true,
+        ..opts
+    };
+
+    paqoc_telemetry::set_enabled(true);
+    paqoc_telemetry::reset();
+
+    let circuit = (b.build)();
+    let device = Device::grid5x5();
+    let mut source = AnalyticModel::new();
+    let result = compile(&circuit, &device, &mut source, &opts);
+
+    let snap = paqoc_telemetry::snapshot();
+    println!(
+        "profile: {} / paqoc({config}) — {} physical gates, {} groups, {} dt",
+        b.name,
+        result.physical.len(),
+        result.num_groups(),
+        result.latency_dt
+    );
+    println!();
+    print!("{}", snap.render_report());
+
+    // Pulse-table cache hit rate across all group sizes.
+    let sum_prefix = |prefix: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    };
+    let hits = sum_prefix("table.cache_hit.");
+    let misses = sum_prefix("table.cache_miss.");
+    let lookups = hits + misses;
+    if lookups > 0 {
+        println!(
+            "pulse-table cache: {hits}/{lookups} hits ({:.1}%)",
+            100.0 * hits as f64 / lookups as f64
+        );
+    }
+    assert_eq!(
+        hits as usize, result.stats.cache_hits,
+        "telemetry and CompileStats must agree on cache hits"
+    );
+
+    match paqoc_telemetry::write_env_trace() {
+        Ok(Some(path)) => println!("trace written to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("failed to write trace: {e}"),
+    }
+}

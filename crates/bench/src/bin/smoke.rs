@@ -23,4 +23,11 @@ fn main() {
         println!("{:<14} phys={:<5} acc: {}dt {:.1}s | m0: {}dt {:.1}s cost {:.0} | minf: {}dt {:.1}s cost {:.0}",
             b.name, m0.physical.len(), acc.latency_dt, t_acc, m0.latency_dt, t_m0, m0.stats.cost_units, mi.latency_dt, t_mi, mi.stats.cost_units);
     }
+    // With PAQOC_TRACE set, dump the accumulated profile of the sweep.
+    if paqoc_telemetry::enabled() {
+        print!("{}", paqoc_telemetry::snapshot().render_report());
+        if let Ok(Some(path)) = paqoc_telemetry::write_env_trace() {
+            println!("trace written to {}", path.display());
+        }
+    }
 }

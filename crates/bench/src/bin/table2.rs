@@ -66,7 +66,14 @@ fn pulse_simulated_fidelity(circuit: &Circuit, _device: &Device) -> f64 {
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
     let device = Device::grid5x5();
-    let names = ["4gt10-v1_81", "decod24-v1_41", "hwb4_49", "rd32_270", "bb84", "simon"];
+    let names = [
+        "4gt10-v1_81",
+        "decod24-v1_41",
+        "hwb4_49",
+        "rd32_270",
+        "bb84",
+        "simon",
+    ];
 
     println!("=== Table II: quality of execution (larger is better) ===");
     println!("\n-- ESP under all five configurations (analytic source) --");
@@ -98,6 +105,9 @@ fn main() {
             continue;
         }
         let f = pulse_simulated_fidelity(&c, &device);
-        println!("{name:<15} pulse-simulated circuit fidelity = {:.2}%", f * 100.0);
+        println!(
+            "{name:<15} pulse-simulated circuit fidelity = {:.2}%",
+            f * 100.0
+        );
     }
 }

@@ -18,7 +18,11 @@ fn main() {
         let mapped = sabre_map(&lowered, device.topology(), &SabreOptions::default());
         let physical = decompose(&mapped.circuit, Basis::Extended);
         let patterns = mine_frequent_subcircuits(&physical, &MinerOptions::default());
-        println!("\n{name} ({} physical gates, {} swaps inserted):", physical.len(), mapped.swaps_inserted);
+        println!(
+            "\n{name} ({} physical gates, {} swaps inserted):",
+            physical.len(),
+            mapped.swaps_inserted
+        );
         for (rank, p) in patterns.iter().take(3).enumerate() {
             println!(
                 "  #{} ({} gates, {} qubits, support {}, coverage {}):",

@@ -1,7 +1,7 @@
 //! The circuit container: an ordered list of gate applications.
 
 use crate::gate::{Angle, GateKind};
-use paqoc_math::{C64, Matrix};
+use paqoc_math::{Matrix, C64};
 use std::fmt;
 
 /// One gate applied to specific qubits.
@@ -278,7 +278,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates):", self.num_qubits, self.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates):",
+            self.num_qubits,
+            self.len()
+        )?;
         for inst in &self.instructions {
             writeln!(f, "  {inst}")?;
         }

@@ -158,8 +158,7 @@ impl DependencyDag {
     pub fn topological_order(&self) -> Vec<usize> {
         let n = self.len();
         let mut indeg: Vec<usize> = (0..n).map(|i| self.preds[i].len()).collect();
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(i);

@@ -141,19 +141,10 @@ fn expand_once(inst: &Instruction) -> Vec<Instruction> {
             Angle::new(FRAC_PI_2),
         ),
         Ry => u3_seq(q[0], p[0].clone(), Angle::new(0.0), Angle::new(0.0)),
-        U2 => u3_seq(
-            q[0],
-            Angle::new(FRAC_PI_2),
-            p[0].clone(),
-            p[1].clone(),
-        ),
+        U2 => u3_seq(q[0], Angle::new(FRAC_PI_2), p[0].clone(), p[1].clone()),
         U3 => u3_seq(q[0], p[0].clone(), p[1].clone(), p[2].clone()),
         Cz => vec![h(q[1]), cx(q[0], q[1]), h(q[1])],
-        Cy => vec![
-            g(Sdg, &[q[1]], &[]),
-            cx(q[0], q[1]),
-            g(S, &[q[1]], &[]),
-        ],
+        Cy => vec![g(Sdg, &[q[1]], &[]), cx(q[0], q[1]), g(S, &[q[1]], &[])],
         Ch => vec![
             g(S, &[q[1]], &[]),
             h(q[1]),
@@ -384,11 +375,7 @@ mod tests {
     #[test]
     fn symbolic_angles_propagate_through_cphase() {
         let mut c = Circuit::new(2);
-        c.apply(
-            GateKind::CPhase,
-            vec![0, 1],
-            vec![Angle::sym("gamma", 0.7)],
-        );
+        c.apply(GateKind::CPhase, vec![0, 1], vec![Angle::sym("gamma", 0.7)]);
         let low = decompose(&c, Basis::Ibm);
         let labels: Vec<String> = low.iter().map(|i| i.label()).collect();
         assert!(labels.contains(&"rz(gamma*0.5)".to_string()), "{labels:?}");

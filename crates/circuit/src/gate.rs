@@ -6,7 +6,7 @@
 //! the frequent-subcircuit miner ("rz(a)" matches "rz(a)" but not
 //! "rz(b)"), exactly as the paper's node-labeling scheme requires.
 
-use paqoc_math::{C64, Matrix};
+use paqoc_math::{Matrix, C64};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4};
 use std::fmt;
 
@@ -207,8 +207,9 @@ impl GateKind {
     pub fn num_qubits(self) -> usize {
         use GateKind::*;
         match self {
-            Id | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx | Ry | Rz | Phase | U2
-            | U3 => 1,
+            Id | X | Y | Z | H | S | Sdg | T | Tdg | Sx | Sxdg | Rx | Ry | Rz | Phase | U2 | U3 => {
+                1
+            }
             Cx | Cy | Cz | Ch | CPhase | Crz | Rxx | Ryy | Rzz | Swap | ISwap => 2,
             Ccx | Ccz | Cswap => 3,
         }
@@ -349,14 +350,8 @@ fn rot(theta: f64, axis: Axis) -> Matrix {
     let c = C64::real((theta / 2.0).cos());
     let s = (theta / 2.0).sin();
     match axis {
-        Axis::X => Matrix::from_rows(&[
-            &[c, C64::new(0.0, -s)],
-            &[C64::new(0.0, -s), c],
-        ]),
-        Axis::Y => Matrix::from_rows(&[
-            &[c, C64::real(-s)],
-            &[C64::real(s), c],
-        ]),
+        Axis::X => Matrix::from_rows(&[&[c, C64::new(0.0, -s)], &[C64::new(0.0, -s), c]]),
+        Axis::Y => Matrix::from_rows(&[&[c, C64::real(-s)], &[C64::real(s), c]]),
         Axis::Z => Matrix::diag(&[C64::cis(-theta / 2.0), C64::cis(theta / 2.0)]),
     }
 }
@@ -413,8 +408,8 @@ mod tests {
     fn every_kind_roundtrips_through_name() {
         use GateKind::*;
         for k in [
-            Id, X, Y, Z, H, S, Sdg, T, Tdg, Sx, Sxdg, Rx, Ry, Rz, Phase, U2, U3, Cx, Cy,
-            Cz, Ch, CPhase, Crz, Rxx, Ryy, Rzz, Swap, ISwap, Ccx, Ccz, Cswap,
+            Id, X, Y, Z, H, S, Sdg, T, Tdg, Sx, Sxdg, Rx, Ry, Rz, Phase, U2, U3, Cx, Cy, Cz, Ch,
+            CPhase, Crz, Rxx, Ryy, Rzz, Swap, ISwap, Ccx, Ccz, Cswap,
         ] {
             assert_eq!(GateKind::from_name(k.name()), Some(k), "{k:?}");
         }

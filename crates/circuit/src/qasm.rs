@@ -32,7 +32,11 @@ impl ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -109,7 +113,8 @@ pub fn parse_qasm(text: &str) -> Result<Circuit, ParseQasmError> {
                 circuit = Some(Circuit::new(n));
                 continue;
             }
-            if stmt.starts_with("creg") || stmt.starts_with("barrier")
+            if stmt.starts_with("creg")
+                || stmt.starts_with("barrier")
                 || stmt.starts_with("measure")
             {
                 continue; // classical bookkeeping: ignored by the IR
@@ -144,10 +149,11 @@ fn parse_gate_statement(
 ) -> Result<(), ParseQasmError> {
     // Split "name(params) operands" into head and operand list.
     let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
-        Some(pos) if stmt[..pos].find('(').map_or(true, |p| {
-            // make sure we split after a balanced parameter list
-            stmt[p..pos].contains(')')
-        }) =>
+        Some(pos)
+            if stmt[..pos].find('(').map_or(true, |p| {
+                // make sure we split after a balanced parameter list
+                stmt[p..pos].contains(')')
+            }) =>
         {
             (&stmt[..pos], stmt[pos..].trim())
         }
@@ -156,7 +162,10 @@ fn parse_gate_statement(
             match stmt.find(')') {
                 Some(p) => (stmt[..=p].trim(), stmt[p + 1..].trim()),
                 None => {
-                    return Err(ParseQasmError::new(lineno, format!("malformed statement: {stmt}")))
+                    return Err(ParseQasmError::new(
+                        lineno,
+                        format!("malformed statement: {stmt}"),
+                    ))
                 }
             }
         }
@@ -171,11 +180,9 @@ fn parse_gate_statement(
             let params: Result<Vec<Angle>, ParseQasmError> = plist
                 .split(',')
                 .map(|e| {
-                    parse_angle_expr(e.trim())
-                        .map(Angle::new)
-                        .ok_or_else(|| {
-                            ParseQasmError::new(lineno, format!("bad angle expression: {e}"))
-                        })
+                    parse_angle_expr(e.trim()).map(Angle::new).ok_or_else(|| {
+                        ParseQasmError::new(lineno, format!("bad angle expression: {e}"))
+                    })
                 })
                 .collect();
             (&head[..p], params?)
@@ -260,8 +267,7 @@ fn tokenize(s: &str) -> Option<Vec<Tok>> {
                     || chars[i] == '.'
                     || chars[i] == 'e'
                     || chars[i] == 'E'
-                    || ((chars[i] == '+' || chars[i] == '-')
-                        && matches!(chars[i - 1], 'e' | 'E')))
+                    || ((chars[i] == '+' || chars[i] == '-') && matches!(chars[i - 1], 'e' | 'E')))
             {
                 i += 1;
             }
@@ -359,8 +365,8 @@ mod tests {
 
     #[test]
     fn parses_pi_expressions() {
-        let c = parse_qasm("qreg q[1]; rz(pi/4) q[0]; rz(-pi) q[0]; rz(3*pi/2) q[0];")
-            .expect("parse");
+        let c =
+            parse_qasm("qreg q[1]; rz(pi/4) q[0]; rz(-pi) q[0]; rz(3*pi/2) q[0];").expect("parse");
         let vals: Vec<f64> = c.iter().map(|i| i.params()[0].value).collect();
         assert!((vals[0] - PI / 4.0).abs() < 1e-12);
         assert!((vals[1] + PI).abs() < 1e-12);

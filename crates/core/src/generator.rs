@@ -13,6 +13,7 @@
 use crate::group::GroupedCircuit;
 use crate::table::PulseTable;
 use paqoc_device::{AnalyticModel, Device, PulseSource};
+use paqoc_telemetry::counter;
 
 /// Knobs of the customized-gates generator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -96,6 +97,10 @@ pub fn generate_customized_gates(
         // compile-time saving.
         report.preprocess_merges =
             preprocess_same_qubit_runs(grouped, device, &mut estimator, opts);
+        counter(
+            "generator.preprocess_merges",
+            report.preprocess_merges as u64,
+        );
     }
 
     // Merged-latency estimates are cached by group-id pair: ids are
@@ -106,6 +111,7 @@ pub fn generate_customized_gates(
 
     for _ in 0..opts.max_iterations {
         report.iterations += 1;
+        counter("generator.iterations", 1);
         let span = grouped.makespan_ns();
         let before = grouped.cp_before();
         let after = grouped.cp_after();
@@ -152,14 +158,17 @@ pub fn generate_customized_gates(
 
         let mut scored: Vec<(f64, f64, usize, usize)> = Vec::new();
         for (a, b) in candidates {
+            counter("generator.candidates_evaluated", 1);
             let ga = grouped.group(a);
             let gb = grouped.group(b);
             let union_qubits: std::collections::BTreeSet<usize> =
                 ga.qubits.union(&gb.qubits).copied().collect();
             if union_qubits.len() > opts.max_qubits {
+                counter("generator.pruned_qubit_cap", 1);
                 continue;
             }
             if opts.criticality_pruning && !critical[a] && !critical[b] {
+                counter("generator.pruned_case3", 1);
                 continue; // Case III: cannot shorten the critical path
             }
             // Contractibility (a graph search) is deferred to commit
@@ -211,8 +220,7 @@ pub fn generate_customized_gates(
             // gain, yet merging all of them is what eventually shortens
             // the circuit — so zero-span-gain merges are accepted when
             // they strictly reduce total pulse time.
-            let local_gain =
-                grouped.group(a).latency_ns + grouped.group(b).latency_ns - est;
+            let local_gain = grouped.group(a).latency_ns + grouped.group(b).latency_ns - est;
             if span_gain > opts.tolerance_ns
                 || (span_gain >= -opts.tolerance_ns && local_gain > opts.tolerance_ns)
             {
@@ -245,8 +253,7 @@ pub fn generate_customized_gates(
             if !grouped.contractible(a, b) {
                 continue;
             }
-            let saved_latency =
-                grouped.group(a).latency_ns + grouped.group(b).latency_ns;
+            let saved_latency = grouped.group(a).latency_ns + grouped.group(b).latency_ns;
             let est = est_cache[&(a, b)];
             let mut trial = grouped.clone();
             let m = trial.merge(a, b);
@@ -258,16 +265,17 @@ pub fn generate_customized_gates(
             // monotonic span and loop termination).
             let total_gain = saved_latency - est;
             let commit = new_span < span - opts.tolerance_ns
-                || (new_span <= span + opts.tolerance_ns
-                    && total_gain > opts.tolerance_ns);
+                || (new_span <= span + opts.tolerance_ns && total_gain > opts.tolerance_ns);
             if commit {
                 *grouped = trial;
                 touched.insert(a);
                 touched.insert(b);
                 committed += 1;
                 report.criticality_merges += 1;
+                counter("generator.merges_committed", 1);
             } else {
                 report.rejected_merges += 1;
+                counter("generator.merges_rejected", 1);
             }
         }
         if committed == 0 {
@@ -446,7 +454,10 @@ mod tests {
             grouped.makespan_ns(),
             unmerged_span
         );
-        assert!(grouped.makespan_ns() < unmerged_span * 0.9, "should clearly improve");
+        assert!(
+            grouped.makespan_ns() < unmerged_span * 0.9,
+            "should clearly improve"
+        );
     }
 
     #[test]
@@ -557,7 +568,13 @@ mod tests {
             let mut g = GroupedCircuit::new(c.instructions(), 2, &[]);
             let mut src = AnalyticModel::new();
             let mut tbl = PulseTable::new();
-            refresh_latencies(&mut g, &device, &mut src, &mut tbl, &PaqocOptions::default());
+            refresh_latencies(
+                &mut g,
+                &device,
+                &mut src,
+                &mut tbl,
+                &PaqocOptions::default(),
+            );
             g
         };
         assert!(merged.0.esp() > unmerged.esp());

@@ -390,11 +390,7 @@ mod tests {
     fn partition_builds_apa_groups() {
         let mut c = Circuit::new(2);
         c.cx(0, 1).cx(1, 0).cx(0, 1).h(0);
-        let g = GroupedCircuit::new(
-            c.instructions(),
-            2,
-            &[(vec![0, 1, 2], GroupKind::Apa(0))],
-        );
+        let g = GroupedCircuit::new(c.instructions(), 2, &[(vec![0, 1, 2], GroupKind::Apa(0))]);
         assert_eq!(g.len(), 2);
         let apa = g.group(0);
         assert_eq!(apa.instructions.len(), 3);
@@ -421,8 +417,7 @@ mod tests {
     fn merge_keeps_instruction_order() {
         let mut g = sample();
         let m = g.merge(1, 0); // arguments reversed: h still comes first
-        let labels: Vec<String> =
-            g.group(m).instructions.iter().map(|i| i.label()).collect();
+        let labels: Vec<String> = g.group(m).instructions.iter().map(|i| i.label()).collect();
         assert_eq!(labels, vec!["h", "cx"]);
     }
 

@@ -10,7 +10,10 @@ use crate::table::{CompileStats, PulseTable};
 use paqoc_circuit::{decompose, Basis, Circuit, Instruction};
 use paqoc_device::{Device, PulseSource};
 use paqoc_mapping::{sabre_map, SabreOptions};
-use paqoc_mining::{mine_frequent_subcircuits, select_apa_basis, ApaBudget, ApaCover, MinerOptions};
+use paqoc_mining::{
+    mine_frequent_subcircuits, select_apa_basis, ApaBudget, ApaCover, MinerOptions,
+};
+use paqoc_telemetry::{counter, span};
 use std::time::Instant;
 
 /// Pipeline configuration.
@@ -29,6 +32,10 @@ pub struct PipelineOptions {
     /// Disable the customized-gates generator entirely (the paper's
     /// APA-only mode of Section V-C).
     pub enable_generator: bool,
+    /// Force telemetry collection on for this compilation. When false,
+    /// collection still turns on if the `PAQOC_TRACE` environment
+    /// variable is set (see [`paqoc_telemetry`]).
+    pub trace: bool,
 }
 
 impl Default for PipelineOptions {
@@ -40,6 +47,7 @@ impl Default for PipelineOptions {
             sabre: SabreOptions::default(),
             skip_mapping: false,
             enable_generator: true,
+            trace: false,
         }
     }
 }
@@ -110,7 +118,10 @@ impl CompilationResult {
             .into_iter()
             .flat_map(|id| self.grouped.group(id).qubits.iter().copied())
             .collect();
-        self.esp * device.spec().survival_probability(active.len(), self.latency_ns)
+        self.esp
+            * device
+                .spec()
+                .survival_probability(active.len(), self.latency_ns)
     }
 }
 
@@ -127,14 +138,22 @@ pub fn compile(
     opts: &PipelineOptions,
 ) -> CompilationResult {
     let start = Instant::now();
+    if opts.trace {
+        paqoc_telemetry::set_enabled(true);
+    }
+    let _compile_span = span("compile");
 
     // 1. Lower to the universal basis and map onto the device. The
     //    Extended basis keeps named single-qubit gates whole (H stays
     //    "h"), matching the level the paper mines at (Fig. 5).
-    let lowered = decompose(logical, Basis::Extended);
+    let lowered = {
+        let _s = span("lower");
+        decompose(logical, Basis::Extended)
+    };
     let physical = if opts.skip_mapping {
         lowered
     } else {
+        let _s = span("map");
         let mapped = sabre_map(&lowered, device.topology(), &opts.sabre);
         // Routing inserts SWAP gates; lower them to CX chains — these are
         // exactly the recurring patterns the miner should see (Table III).
@@ -142,15 +161,18 @@ pub fn compile(
     };
 
     // 2. Mine frequent subcircuits and select the APA basis.
-    let apa = if opts.apa_budget == ApaBudget::None {
-        ApaCover::default()
-    } else {
-        let miner_opts = MinerOptions {
-            max_qubits: opts.generator.max_qubits,
-            ..opts.miner
-        };
-        let patterns = mine_frequent_subcircuits(&physical, &miner_opts);
-        select_apa_basis(&patterns, opts.apa_budget, physical.len())
+    let apa = {
+        let _s = span("mine");
+        if opts.apa_budget == ApaBudget::None {
+            ApaCover::default()
+        } else {
+            let miner_opts = MinerOptions {
+                max_qubits: opts.generator.max_qubits,
+                ..opts.miner
+            };
+            let patterns = mine_frequent_subcircuits(&physical, &miner_opts);
+            select_apa_basis(&patterns, opts.apa_budget, physical.len())
+        }
     };
 
     // 3. Build the grouped circuit, keeping only APA occurrences whose
@@ -159,13 +181,11 @@ pub fn compile(
     //    §V-C guarantee ("APA-basis gate sets are chosen in a way that
     //    it will guarantee not to increase the critical path").
     let mut estimator = paqoc_device::AnalyticModel::new();
-    let mut est_cache: std::collections::HashMap<String, f64> =
-        std::collections::HashMap::new();
+    let mut est_cache: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
     let mut estimated_span = |partition: &[(Vec<usize>, GroupKind)],
                               estimator: &mut paqoc_device::AnalyticModel|
      -> f64 {
-        let mut g =
-            GroupedCircuit::new(physical.instructions(), physical.num_qubits(), partition);
+        let mut g = GroupedCircuit::new(physical.instructions(), physical.num_qubits(), partition);
         for id in g.group_ids() {
             let key = crate::table::group_key(&g.group(id).instructions);
             let lat = *est_cache.entry(key).or_insert_with(|| {
@@ -183,6 +203,7 @@ pub fn compile(
         g.makespan_ns()
     };
 
+    let group_span = span("group");
     let mut partition: Vec<(Vec<usize>, GroupKind)> = Vec::new();
     let mut current_span = if apa.selections.is_empty() {
         0.0
@@ -193,16 +214,21 @@ pub fn compile(
         let mut trial: Vec<(Vec<usize>, GroupKind)> = partition.clone();
         trial.push((occ.clone(), GroupKind::Apa(pattern_idx)));
         if !partition_is_acyclic(physical.instructions(), physical.num_qubits(), &trial) {
+            counter("apa.rejected_acyclic", 1);
             continue;
         }
         let trial_span = estimated_span(&trial, &mut estimator);
         if trial_span <= current_span + opts.generator.tolerance_ns {
+            counter("apa.accepted", 1);
             partition = trial;
             current_span = trial_span;
+        } else {
+            counter("apa.rejected_critical_path", 1);
         }
     }
     let mut grouped =
         GroupedCircuit::new(physical.instructions(), physical.num_qubits(), &partition);
+    drop(group_span);
 
     // 4. Criticality-aware customized gate generation + pulses.
     let mut table = PulseTable::new();
@@ -215,8 +241,10 @@ pub fn compile(
             ..opts.generator
         }
     };
-    let report =
-        generate_customized_gates(&mut grouped, device, source, &mut table, &gen_opts);
+    let report = {
+        let _s = span("generate");
+        generate_customized_gates(&mut grouped, device, source, &mut table, &gen_opts)
+    };
 
     let latency_ns = grouped.makespan_ns();
     CompilationResult {
@@ -333,8 +361,12 @@ mod tests {
                 ..PipelineOptions::m0()
             },
         );
-        assert!(merged.latency_ns < unmerged.latency_ns,
-            "{} vs {}", merged.latency_ns, unmerged.latency_ns);
+        assert!(
+            merged.latency_ns < unmerged.latency_ns,
+            "{} vs {}",
+            merged.latency_ns,
+            unmerged.latency_ns
+        );
         assert!(merged.esp > unmerged.esp);
         assert!(merged.latency_dt > 0);
     }
@@ -366,8 +398,12 @@ mod tests {
         let mi = compile(&qaoa_like(), &device, &mut s, &PipelineOptions::m_inf());
         // On a tiny synthetic circuit the exact ordering is noisy; the
         // full-benchmark harness (fig11) asserts the paper's ordering.
-        assert!(mt.stats.cost_units <= m0.stats.cost_units * 2.0 + 1e-9,
-            "tuned {} vs m0 {}", mt.stats.cost_units, m0.stats.cost_units);
+        assert!(
+            mt.stats.cost_units <= m0.stats.cost_units * 2.0 + 1e-9,
+            "tuned {} vs m0 {}",
+            mt.stats.cost_units,
+            m0.stats.cost_units
+        );
         assert!(mt.latency_ns <= mi.latency_ns * 1.3);
     }
 
@@ -404,7 +440,10 @@ mod tests {
         assert!(partition_is_acyclic(
             c.instructions(),
             2,
-            &[(vec![0, 1], GroupKind::Apa(0)), (vec![2, 3], GroupKind::Apa(0))],
+            &[
+                (vec![0, 1], GroupKind::Apa(0)),
+                (vec![2, 3], GroupKind::Apa(0))
+            ],
         ));
     }
 

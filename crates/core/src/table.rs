@@ -60,6 +60,15 @@ pub fn group_key(group: &[Instruction]) -> String {
     canonical_code(&graph, &nodes)
 }
 
+/// Number of distinct qubits a group touches (its telemetry key).
+fn group_arity(group: &[Instruction]) -> usize {
+    group
+        .iter()
+        .flat_map(|i| i.qubits().iter().copied())
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
 impl PulseTable {
     /// Creates an empty table.
     pub fn new() -> Self {
@@ -83,7 +92,13 @@ impl PulseTable {
         let key = group_key(group);
         if let Some(&hit) = self.entries.get(&key) {
             self.stats.cache_hits += 1;
+            if paqoc_telemetry::enabled() {
+                paqoc_telemetry::counter(&format!("table.cache_hit.q{}", group_arity(group)), 1);
+            }
             return hit;
+        }
+        if paqoc_telemetry::enabled() {
+            paqoc_telemetry::counter(&format!("table.cache_miss.q{}", group_arity(group)), 1);
         }
         // Similarity search over stored unitaries of the same dimension.
         let qubits: Vec<usize> = group

@@ -7,7 +7,7 @@
 
 use crate::spec::HardwareSpec;
 use crate::topology::Topology;
-use paqoc_math::{C64, Matrix};
+use paqoc_math::{Matrix, C64};
 
 /// One controllable term `α(t)·H` of the device Hamiltonian.
 #[derive(Clone, Debug)]
@@ -53,7 +53,11 @@ fn embed1(op: &Matrix, q: usize, n: usize) -> Matrix {
     let mut m = Matrix::identity(1);
     // Build I ⊗ … ⊗ op ⊗ … ⊗ I with the most significant qubit first.
     for k in (0..n).rev() {
-        let factor = if k == q { op.clone() } else { Matrix::identity(2) };
+        let factor = if k == q {
+            op.clone()
+        } else {
+            Matrix::identity(2)
+        };
         m = m.kron(&factor);
     }
     m
@@ -87,7 +91,10 @@ pub fn transmon_xy_controls(
         });
     }
     for &(a, b) in edges {
-        assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+        assert!(
+            a < num_qubits && b < num_qubits,
+            "edge ({a},{b}) out of range"
+        );
         let xx = embed1(&x, a, num_qubits).matmul(&embed1(&x, b, num_qubits));
         let yy = embed1(&y, a, num_qubits).matmul(&embed1(&y, b, num_qubits));
         channels.push(ControlChannel {
@@ -203,13 +210,19 @@ mod tests {
         // Qubits 0,1,2 are a connected row: two couplers.
         let row = dev.controls_for(&[0, 1, 2]);
         assert_eq!(
-            row.channels.iter().filter(|c| c.name.starts_with("xy")).count(),
+            row.channels
+                .iter()
+                .filter(|c| c.name.starts_with("xy"))
+                .count(),
             2
         );
         // Qubits 0 and 2 are not adjacent: no coupler.
         let gap = dev.controls_for(&[0, 2]);
         assert_eq!(
-            gap.channels.iter().filter(|c| c.name.starts_with("xy")).count(),
+            gap.channels
+                .iter()
+                .filter(|c| c.name.starts_with("xy"))
+                .count(),
             0
         );
     }
@@ -221,6 +234,9 @@ mod tests {
         // normalized in construction order.
         let set = dev.controls_for(&[5, 0]);
         let names: Vec<&str> = set.channels.iter().map(|c| c.name.as_str()).collect();
-        assert!(names.contains(&"xy[1,0]") || names.contains(&"xy[0,1]"), "{names:?}");
+        assert!(
+            names.contains(&"xy[1,0]") || names.contains(&"xy[0,1]"),
+            "{names:?}"
+        );
     }
 }

@@ -133,8 +133,11 @@ impl AnalyticModel {
         group
             .iter()
             .map(|inst| {
-                let qs: Vec<String> =
-                    inst.qubits().iter().map(|&q| local(q).to_string()).collect();
+                let qs: Vec<String> = inst
+                    .qubits()
+                    .iter()
+                    .map(|&q| local(q).to_string())
+                    .collect();
                 format!("{}:{}", inst.label(), qs.join(","))
             })
             .collect::<Vec<_>>()
@@ -237,17 +240,11 @@ impl PulseSource for AnalyticModel {
         let spec = device.spec();
         let base = AnalyticModel::base_ns(num_qubits.max(1));
         match num_qubits {
-            0 | 1 => {
-                base + std::f64::consts::FRAC_PI_2
-                    / (spec.single_qubit_rate() * ENVELOPE_1Q)
-            }
+            0 | 1 => base + std::f64::consts::FRAC_PI_2 / (spec.single_qubit_rate() * ENVELOPE_1Q),
             // A typical 2-qubit customized gate carries roughly one CX of
             // echo-corrected content: 2·(π/4)/rate, plus some dressing.
             2 => base + 1.2 * std::f64::consts::FRAC_PI_2 / spec.coupler_rate(),
-            n => {
-                base + 1.2 * (n - 1) as f64 * std::f64::consts::FRAC_PI_2
-                    / spec.coupler_rate()
-            }
+            n => base + 1.2 * (n - 1) as f64 * std::f64::consts::FRAC_PI_2 / spec.coupler_rate(),
         }
     }
 
@@ -330,14 +327,13 @@ fn pair_contents(
     let mut open_runs: BTreeMap<(usize, usize), Vec<Instruction>> = BTreeMap::new();
 
     let flush = |pair: (usize, usize),
-                     run: Vec<Instruction>,
-                     totals: &mut BTreeMap<(usize, usize), f64>| {
+                 run: Vec<Instruction>,
+                 totals: &mut BTreeMap<(usize, usize), f64>| {
         if run.is_empty() {
             return;
         }
         let u = combined_unitary(&run, &[pair.0, pair.1]);
-        let t = AnalyticModel::content_time(&u, device)
-            * coupling_penalty(device, pair.0, pair.1);
+        let t = AnalyticModel::content_time(&u, device) * coupling_penalty(device, pair.0, pair.1);
         *totals.entry(pair).or_insert(0.0) += t;
     };
 
@@ -354,11 +350,7 @@ fn pair_contents(
             .keys()
             .copied()
             .filter(|&pair| {
-                Some(pair) != own_pair
-                    && inst
-                        .qubits()
-                        .iter()
-                        .any(|&q| q == pair.0 || q == pair.1)
+                Some(pair) != own_pair && inst.qubits().iter().any(|&q| q == pair.0 || q == pair.1)
             })
             .collect();
         for pair in interrupted {
@@ -426,10 +418,7 @@ mod tests {
     fn observation2_latency_grows_with_qubit_count() {
         let one = gen(&[inst(GateKind::X, &[0])]);
         let two = gen(&[inst(GateKind::Cx, &[0, 1])]);
-        let three = gen(&[
-            inst(GateKind::Cx, &[0, 1]),
-            inst(GateKind::Cx, &[1, 2]),
-        ]);
+        let three = gen(&[inst(GateKind::Cx, &[0, 1]), inst(GateKind::Cx, &[1, 2])]);
         assert!(one.latency_ns < two.latency_ns);
         assert!(two.latency_ns < three.latency_ns);
     }

@@ -34,7 +34,10 @@ impl Topology {
             .into_iter()
             .map(|(a, b)| {
                 assert!(a != b, "self-loop on qubit {a}");
-                assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+                assert!(
+                    a < num_qubits && b < num_qubits,
+                    "edge ({a},{b}) out of range"
+                );
                 (a.min(b), a.max(b))
             })
             .collect();
@@ -176,7 +179,9 @@ impl Topology {
 
     /// The full all-pairs distance matrix (row `i` = distances from `i`).
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
-        (0..self.num_qubits).map(|q| self.distances_from(q)).collect()
+        (0..self.num_qubits)
+            .map(|q| self.distances_from(q))
+            .collect()
     }
 
     /// The coupling edges internal to a subset of qubits.

@@ -108,8 +108,7 @@ mod tests {
             target_fidelity: 0.995,
             ..GrapeOptions::default()
         };
-        let search =
-            minimize_duration(&target, &controls1(), &opts, 12, None).expect("feasible");
+        let search = minimize_duration(&target, &controls1(), &opts, 12, None).expect("feasible");
         assert!(
             (9..=13).contains(&search.steps),
             "steps {} should be near the 10-step bound",
@@ -125,8 +124,7 @@ mod tests {
             target_fidelity: 0.995,
             ..GrapeOptions::default()
         };
-        let search =
-            minimize_duration(&target, &controls1(), &opts, 2, None).expect("feasible");
+        let search = minimize_duration(&target, &controls1(), &opts, 2, None).expect("feasible");
         assert!(search.steps >= 9, "steps {}", search.steps);
         assert!(search.trials >= 3); // had to double at least twice
     }
@@ -135,8 +133,7 @@ mod tests {
     fn identity_needs_minimal_steps() {
         let target = Matrix::identity(2);
         let opts = GrapeOptions::default();
-        let search =
-            minimize_duration(&target, &controls1(), &opts, 4, None).expect("feasible");
+        let search = minimize_duration(&target, &controls1(), &opts, 4, None).expect("feasible");
         assert!(search.steps <= 2, "steps {}", search.steps);
     }
 }

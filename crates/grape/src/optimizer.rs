@@ -9,9 +9,7 @@
 //! small step norms used here.
 
 use paqoc_device::ControlSet;
-use paqoc_math::{expm, C64, Matrix};
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use paqoc_math::{expm, Matrix, Rng, C64};
 
 /// A piecewise-constant control schedule.
 #[derive(Clone, Debug, PartialEq)]
@@ -105,10 +103,12 @@ pub fn optimize(
     let mut total_iters = 0usize;
 
     for restart in 0..opts.restarts.max(1) {
-        let mut rng = StdRng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
+        paqoc_telemetry::counter("grape.restarts", 1);
+        let mut rng = Rng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
         let mut theta = initial_theta(steps, num_channels, warm_start, controls, &mut rng);
         let (fid, iters) = adam_loop(target, controls, &mut theta, opts);
         total_iters += iters;
+        paqoc_telemetry::counter("grape.iterations", iters as u64);
         let pulse = theta_to_pulse(&theta, controls, opts.step_ns);
         let result = GrapeResult {
             pulse,
@@ -125,6 +125,9 @@ pub fn optimize(
     }
     let mut out = best.expect("at least one restart runs");
     out.iterations = total_iters;
+    if out.fidelity < opts.target_fidelity {
+        paqoc_telemetry::counter("grape.convergence_failures", 1);
+    }
     out
 }
 
@@ -146,7 +149,7 @@ fn initial_theta(
     num_channels: usize,
     warm_start: Option<&Pulse>,
     controls: &ControlSet,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Vec<Vec<f64>> {
     let mut theta = vec![vec![0.0f64; num_channels]; steps];
     match warm_start {

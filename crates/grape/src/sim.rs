@@ -7,9 +7,9 @@
 //! the product is compared against the ideal circuit unitary.
 
 use crate::optimizer::Pulse;
-use paqoc_device::ControlSet;
-use paqoc_math::{expm, trace_fidelity, C64, Matrix};
 use paqoc_circuit::embed_unitary;
+use paqoc_device::ControlSet;
+use paqoc_math::{expm, trace_fidelity, Matrix, C64};
 
 /// Propagates a pulse through its control system, returning the realized
 /// unitary `U = Π_j exp(-i·2π·dt·H_j)`.

@@ -87,8 +87,7 @@ impl GrapeSource {
         self.cache
             .values()
             .filter(|e| {
-                e.target.rows() == target.rows()
-                    && e.pulse.channel_names.len() == num_channels
+                e.target.rows() == target.rows() && e.pulse.channel_names.len() == num_channels
             })
             .map(|e| (phase_aligned_distance(&e.target, target), e))
             .filter(|(d, _)| *d < self.similarity_threshold)
@@ -112,8 +111,11 @@ fn signature(group: &[Instruction], qubits: &[usize]) -> String {
     group
         .iter()
         .map(|inst| {
-            let qs: Vec<String> =
-                inst.qubits().iter().map(|&q| local(q).to_string()).collect();
+            let qs: Vec<String> = inst
+                .qubits()
+                .iter()
+                .map(|&q| local(q).to_string())
+                .collect();
             format!("{}:{}", inst.label(), qs.join(","))
         })
         .collect::<Vec<_>>()
@@ -132,10 +134,12 @@ impl PulseSource for GrapeSource {
         let key = signature(group, &qubits);
         if let Some(entry) = self.cache.get(&key) {
             // Identical customized gate: reuse at zero cost.
+            paqoc_telemetry::counter("grape.cache_hits", 1);
             let mut est = entry.estimate;
             est.cost_units = 0.0;
             return est;
         }
+        paqoc_telemetry::counter("grape.cache_misses", 1);
 
         let target = combined_unitary(group, &qubits);
         let controls = device.controls_for(&qubits);
@@ -151,10 +155,14 @@ impl PulseSource for GrapeSource {
         let initial_steps = ((prior_ns / opts.step_ns).ceil() as usize).max(2);
 
         let seed_pulse = if warm_start.is_some() {
-            self.similar_pulse(&target, controls.channels.len()).cloned()
+            self.similar_pulse(&target, controls.channels.len())
+                .cloned()
         } else {
             None
         };
+        if seed_pulse.is_some() {
+            paqoc_telemetry::counter("grape.warm_starts", 1);
+        }
 
         let d = controls.dim() as f64;
         match minimize_duration(
@@ -170,9 +178,7 @@ impl PulseSource for GrapeSource {
                     latency_ns,
                     latency_dt: device.spec().ns_to_dt(latency_ns),
                     fidelity: search.result.fidelity,
-                    cost_units: search.total_iterations as f64
-                        * search.steps as f64
-                        * d.powi(3)
+                    cost_units: search.total_iterations as f64 * search.steps as f64 * d.powi(3)
                         / 1.0e6,
                 };
                 self.cache.insert(
@@ -186,6 +192,7 @@ impl PulseSource for GrapeSource {
                 estimate
             }
             None => {
+                paqoc_telemetry::counter("grape.duration_search_failures", 1);
                 // Unreachable target within the step cap: report the cap
                 // duration with the (poor) fidelity, so callers can see
                 // and reject the candidate.

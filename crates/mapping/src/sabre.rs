@@ -7,8 +7,7 @@
 
 use paqoc_circuit::{Circuit, DependencyDag, GateKind, Instruction};
 use paqoc_device::Topology;
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use paqoc_math::Rng;
 use std::collections::HashSet;
 
 /// Tunable parameters of the SABRE heuristic.
@@ -81,11 +80,7 @@ pub struct MappedCircuit {
 ///     }
 /// }
 /// ```
-pub fn sabre_map(
-    circuit: &Circuit,
-    topology: &Topology,
-    opts: &SabreOptions,
-) -> MappedCircuit {
+pub fn sabre_map(circuit: &Circuit, topology: &Topology, opts: &SabreOptions) -> MappedCircuit {
     assert!(
         circuit.num_qubits() <= topology.num_qubits(),
         "circuit needs {} qubits but the device has {}",
@@ -106,7 +101,7 @@ pub fn sabre_map(
     // Initial layout: random, then refined by bidirectional traversal —
     // run forward and backward passes, each time keeping the layout the
     // previous pass ended with (the SABRE trick).
-    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut rng = Rng::seed_from_u64(opts.seed);
     let mut layout = random_layout(circuit.num_qubits(), topology.num_qubits(), &mut rng);
     let reversed = reversed_circuit(circuit);
     for _ in 0..opts.refinement_passes {
@@ -114,12 +109,15 @@ pub fn sabre_map(
         layout = fwd.final_layout;
         let bwd = route(&reversed, topology, &dist, layout.clone(), opts);
         layout = bwd.final_layout;
+        paqoc_telemetry::counter("sabre.refinement_passes", 1);
     }
 
-    route(circuit, topology, &dist, layout, opts)
+    let mapped = route(circuit, topology, &dist, layout, opts);
+    paqoc_telemetry::counter("sabre.swaps_inserted", mapped.swaps_inserted as u64);
+    mapped
 }
 
-fn random_layout(logical: usize, physical: usize, rng: &mut impl Rng) -> Vec<usize> {
+fn random_layout(logical: usize, physical: usize, rng: &mut Rng) -> Vec<usize> {
     let mut perm: Vec<usize> = (0..physical).collect();
     // Fisher–Yates.
     for i in (1..physical).rev() {
@@ -386,7 +384,11 @@ mod tests {
         let mapped = assert_routed(&c, &Topology::line(4));
         // Whatever the initial placement, the routed circuit is valid;
         // with a sensible layout at most 2 swaps are needed.
-        assert!(mapped.swaps_inserted <= 2, "{} swaps", mapped.swaps_inserted);
+        assert!(
+            mapped.swaps_inserted <= 2,
+            "{} swaps",
+            mapped.swaps_inserted
+        );
     }
 
     #[test]

@@ -62,13 +62,14 @@ pub fn poly_roots(coeffs: &[C64]) -> Vec<C64> {
 
     // Initial guesses: points on a circle whose radius bounds the roots
     // (Cauchy bound), with an irrational angle offset to break symmetry.
-    let radius = 1.0
-        + monic[1..]
-            .iter()
-            .map(|c| c.abs())
-            .fold(0.0f64, f64::max);
+    let radius = 1.0 + monic[1..].iter().map(|c| c.abs()).fold(0.0f64, f64::max);
     let mut roots: Vec<C64> = (0..n)
-        .map(|k| C64::from_polar(radius.min(4.0), 0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64))
+        .map(|k| {
+            C64::from_polar(
+                radius.min(4.0),
+                0.4 + 2.0 * std::f64::consts::PI * k as f64 / n as f64,
+            )
+        })
         .collect();
 
     for _ in 0..300 {
@@ -130,8 +131,7 @@ fn polish_clusters(roots: &mut [C64]) {
     for c in 0..next_cluster {
         let members: Vec<usize> = (0..n).filter(|&k| assigned[k] == c).collect();
         if members.len() > 1 {
-            let centroid = members.iter().map(|&k| roots[k]).sum::<C64>()
-                / members.len() as f64;
+            let centroid = members.iter().map(|&k| roots[k]).sum::<C64>() / members.len() as f64;
             for &k in &members {
                 roots[k] = centroid;
             }
@@ -230,11 +230,7 @@ mod tests {
     #[test]
     fn roots_of_quadratic() {
         // λ² - 3λ + 2 = (λ-1)(λ-2)
-        let roots = sorted_re(poly_roots(&[
-            C64::ONE,
-            C64::real(-3.0),
-            C64::real(2.0),
-        ]));
+        let roots = sorted_re(poly_roots(&[C64::ONE, C64::real(-3.0), C64::real(2.0)]));
         assert!((roots[0] - C64::ONE).abs() < 1e-9);
         assert!((roots[1] - C64::real(2.0)).abs() < 1e-9);
     }
@@ -242,13 +238,7 @@ mod tests {
     #[test]
     fn roots_of_unity_quartic() {
         // λ⁴ - 1 = 0 → {1, -1, i, -i}
-        let roots = poly_roots(&[
-            C64::ONE,
-            C64::ZERO,
-            C64::ZERO,
-            C64::ZERO,
-            C64::real(-1.0),
-        ]);
+        let roots = poly_roots(&[C64::ONE, C64::ZERO, C64::ZERO, C64::ZERO, C64::real(-1.0)]);
         for r in &roots {
             assert!((r.abs() - 1.0).abs() < 1e-8);
             // each root^4 == 1

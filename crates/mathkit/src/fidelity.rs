@@ -49,7 +49,10 @@ pub fn average_gate_fidelity(u: &Matrix, v: &Matrix) -> f64 {
 ///
 /// Panics if the matrices are not square or differ in shape.
 pub fn phase_aligned_distance(u: &Matrix, v: &Matrix) -> f64 {
-    assert!(u.is_square(), "phase_aligned_distance requires square matrices");
+    assert!(
+        u.is_square(),
+        "phase_aligned_distance requires square matrices"
+    );
     assert_eq!(u.rows(), v.rows(), "phase_aligned_distance shape mismatch");
     let d = u.rows() as f64;
     let overlap = u.dagger().matmul(v).trace();

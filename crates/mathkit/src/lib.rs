@@ -33,6 +33,7 @@ mod expm;
 mod fidelity;
 mod matrix;
 mod random;
+mod rng;
 mod weyl;
 
 pub use complex::C64;
@@ -43,4 +44,5 @@ pub use fidelity::{
 };
 pub use matrix::Matrix;
 pub use random::{ginibre, random_unitary, random_unitary_seeded, stable_jitter};
+pub use rng::{Rng, Sample, SampleRange};
 pub use weyl::{det, weyl_coordinates, WeylCoordinates};

@@ -554,10 +554,7 @@ mod tests {
 
     #[test]
     fn solve_detects_singularity() {
-        let singular = Matrix::from_rows(&[
-            &[C64::ONE, C64::ONE],
-            &[C64::ONE, C64::ONE],
-        ]);
+        let singular = Matrix::from_rows(&[&[C64::ONE, C64::ONE], &[C64::ONE, C64::ONE]]);
         assert!(singular.solve(&Matrix::identity(2)).is_none());
     }
 

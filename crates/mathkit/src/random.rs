@@ -7,18 +7,17 @@
 
 use crate::complex::C64;
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use crate::rng::Rng;
 
 /// Draws a standard-normal sample via Box–Muller from a uniform source.
-fn normal(rng: &mut impl Rng) -> f64 {
+fn normal(rng: &mut Rng) -> f64 {
     let u1: f64 = rng.random::<f64>().max(1e-300);
     let u2: f64 = rng.random::<f64>();
     (-2.0f64 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// Samples an `n × n` matrix with i.i.d. standard complex Gaussian entries.
-pub fn ginibre(n: usize, rng: &mut impl Rng) -> Matrix {
+pub fn ginibre(n: usize, rng: &mut Rng) -> Matrix {
     let mut m = Matrix::zeros(n, n);
     for i in 0..n {
         for j in 0..n {
@@ -40,7 +39,7 @@ pub fn ginibre(n: usize, rng: &mut impl Rng) -> Matrix {
 /// let u = random_unitary_seeded(4, 7);
 /// assert!(u.is_unitary(1e-10));
 /// ```
-pub fn random_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
+pub fn random_unitary(n: usize, rng: &mut Rng) -> Matrix {
     let g = ginibre(n, rng);
     // Modified Gram–Schmidt on columns.
     let mut q = g;
@@ -79,7 +78,7 @@ pub fn random_unitary(n: usize, rng: &mut impl Rng) -> Matrix {
 
 /// Samples a Haar-random unitary from a fixed seed (deterministic).
 pub fn random_unitary_seeded(n: usize, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     random_unitary(n, &mut rng)
 }
 
@@ -141,10 +140,9 @@ mod tests {
 
     #[test]
     fn ginibre_entries_have_unit_scale() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let g = ginibre(8, &mut rng);
-        let mean_sq: f64 =
-            g.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
+        let mean_sq: f64 = g.as_slice().iter().map(|z| z.norm_sqr()).sum::<f64>() / 64.0;
         // E|z|² = 2 for standard complex Gaussian with unit-variance parts.
         assert!((mean_sq - 2.0).abs() < 0.8, "mean_sq={mean_sq}");
     }

@@ -49,12 +49,7 @@ fn magic_basis() -> Matrix {
     let z = C64::ZERO;
     let r = C64::real(s);
     let i = C64::new(0.0, s);
-    Matrix::from_rows(&[
-        &[r, i, z, z],
-        &[z, z, i, r],
-        &[z, z, i, -r],
-        &[r, -i, z, z],
-    ])
+    Matrix::from_rows(&[&[r, i, z, z], &[z, z, i, r], &[z, z, i, -r], &[r, -i, z, z]])
 }
 
 /// Determinant of a small square complex matrix by LU elimination.
@@ -234,10 +229,7 @@ mod tests {
     #[test]
     fn cx_content_is_quarter_pi() {
         let w = weyl_coordinates(&cx());
-        assert!(
-            (w.interaction_content() - FRAC_PI_4).abs() < 1e-6,
-            "{w:?}"
-        );
+        assert!((w.interaction_content() - FRAC_PI_4).abs() < 1e-6, "{w:?}");
     }
 
     #[test]
@@ -252,10 +244,7 @@ mod tests {
     #[test]
     fn iswap_content_is_half_pi() {
         let w = weyl_coordinates(&iswap());
-        assert!(
-            (w.interaction_content() - FRAC_PI_2).abs() < 1e-6,
-            "{w:?}"
-        );
+        assert!((w.interaction_content() - FRAC_PI_2).abs() < 1e-6, "{w:?}");
     }
 
     #[test]
@@ -276,9 +265,6 @@ mod tests {
         let local = h.kron(&Matrix::identity(2));
         let dressed = local.matmul(&cx()).matmul(&local.dagger());
         let w = weyl_coordinates(&dressed);
-        assert!(
-            (w.interaction_content() - FRAC_PI_4).abs() < 1e-6,
-            "{w:?}"
-        );
+        assert!((w.interaction_content() - FRAC_PI_4).abs() < 1e-6, "{w:?}");
     }
 }

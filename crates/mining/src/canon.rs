@@ -51,7 +51,7 @@ pub fn canonical_code(graph: &CircuitGraph, nodes: &[usize]) -> String {
 
 #[derive(Clone)]
 struct EmitState {
-    emitted: Vec<usize>, // local indices in emission order
+    emitted: Vec<usize>,               // local indices in emission order
     qubit_ids: BTreeMap<usize, usize>, // physical qubit -> canonical id
     code: String,
 }
@@ -83,10 +83,7 @@ fn token(
             }
         })
         .collect();
-    (
-        format!("{}({})", graph.label(v), ids.join(",")),
-        fresh,
-    )
+    (format!("{}({})", graph.label(v), ids.join(",")), fresh)
 }
 
 fn search(

@@ -10,6 +10,7 @@
 use crate::canon::canonical_code;
 use crate::graph::{CircuitGraph, Reachability};
 use paqoc_circuit::Circuit;
+use paqoc_telemetry::counter;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Mining configuration.
@@ -146,9 +147,11 @@ pub fn mine_frequent_subcircuits(circuit: &Circuit, opts: &MinerOptions) -> Vec<
                     }
                 }
                 for cand in cands {
+                    counter("miner.extensions_tried", 1);
                     let mut new_qubits = qubits.clone();
                     new_qubits.extend(graph.qubits(cand).iter().copied());
                     if new_qubits.len() > opts.max_qubits {
+                        counter("miner.rejected_qubit_cap", 1);
                         continue;
                     }
                     let mut grown: Vec<usize> = inst.clone();
@@ -158,6 +161,7 @@ pub fn mine_frequent_subcircuits(circuit: &Circuit, opts: &MinerOptions) -> Vec<
                         continue;
                     }
                     if !reach.is_convex(&grown) {
+                        counter("miner.rejected_nonconvex", 1);
                         continue;
                     }
                     seen_sets.insert(grown.clone());
@@ -202,6 +206,7 @@ pub fn mine_frequent_subcircuits(circuit: &Circuit, opts: &MinerOptions) -> Vec<
             .then(b.num_gates.cmp(&a.num_gates))
             .then(a.code.cmp(&b.code))
     });
+    counter("miner.patterns_found", results.len() as u64);
     results
 }
 
@@ -261,10 +266,7 @@ mod tests {
         c.h(0).cx(0, 1); // appears once
         c.x(0).x(1); // x appears twice
         let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());
-        assert!(
-            patterns.iter().all(|p| p.support() >= 2),
-            "{patterns:?}"
-        );
+        assert!(patterns.iter().all(|p| p.support() >= 2), "{patterns:?}");
     }
 
     #[test]
@@ -288,7 +290,11 @@ mod tests {
         let mut c = Circuit::new(4);
         for (a, b) in [(0usize, 1usize), (2, 3)] {
             c.cx(a, b);
-            c.apply(GateKind::Rz, vec![b], vec![Angle::sym("gamma", 0.3 + a as f64)]);
+            c.apply(
+                GateKind::Rz,
+                vec![b],
+                vec![Angle::sym("gamma", 0.3 + a as f64)],
+            );
             c.cx(a, b);
         }
         let patterns = mine_frequent_subcircuits(&c, &MinerOptions::default());

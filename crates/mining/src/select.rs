@@ -83,11 +83,7 @@ impl ApaCover {
 /// let cover = select_apa_basis(&patterns, ApaBudget::Unlimited, c.len());
 /// assert!(cover.covered_gates >= 6); // both SWAP skeletons covered
 /// ```
-pub fn select_apa_basis(
-    patterns: &[Pattern],
-    budget: ApaBudget,
-    circuit_len: usize,
-) -> ApaCover {
+pub fn select_apa_basis(patterns: &[Pattern], budget: ApaBudget, circuit_len: usize) -> ApaCover {
     match budget {
         ApaBudget::None => ApaCover::default(),
         ApaBudget::Limit(k) => greedy_cover(patterns, Some(k), circuit_len, None),

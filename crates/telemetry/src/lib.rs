@@ -1,0 +1,352 @@
+//! # paqoc-telemetry
+//!
+//! Hand-rolled, zero-dependency tracing and metrics for the PAQOC
+//! compilation stack. The paper's evaluation is a compilation-cost /
+//! latency trade-off (Figs. 10–14); this crate makes that cost visible:
+//!
+//! * **Spans** — RAII scoped timers ([`span`]) that nest (`compile` >
+//!   `mine` > …) and record wall time into a global thread-safe registry;
+//! * **Counters and histograms** — [`counter`] / [`observe`] for the
+//!   quantities the paper reasons about (merge candidates pruned, pulse
+//!   table hits, GRAPE iterations, SABRE swaps, …);
+//! * **Exports** — a JSONL trace ([`Snapshot::to_jsonl`], hand-rolled
+//!   JSON, parseable back with [`json::parse`]) and a human-readable
+//!   span-tree + counter-table report ([`Snapshot::render_report`]).
+//!
+//! Collection is off by default and costs a single relaxed atomic load
+//! per instrumentation site when disabled. It is switched on
+//! programmatically ([`set_enabled`]) or by setting the `PAQOC_TRACE`
+//! environment variable (any value but `0`/`false`/empty; a value with a
+//! path shape, e.g. `trace.jsonl`, additionally names a JSONL dump file
+//! for [`write_env_trace`]).
+//!
+//! ## Example
+//!
+//! ```
+//! paqoc_telemetry::set_enabled(true);
+//! paqoc_telemetry::reset();
+//! {
+//!     let _outer = paqoc_telemetry::span("compile");
+//!     let _inner = paqoc_telemetry::span("mine");
+//!     paqoc_telemetry::counter("miner.patterns_found", 3);
+//! }
+//! let snap = paqoc_telemetry::snapshot();
+//! assert_eq!(snap.counters["miner.patterns_found"], 3);
+//! assert_eq!(snap.spans.len(), 2);
+//! paqoc_telemetry::set_enabled(false);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod report;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// The environment variable that switches tracing on.
+pub const ENV_VAR: &str = "PAQOC_TRACE";
+
+// Tri-state so the env var is consulted exactly once, lazily, and the
+// steady-state check stays a single relaxed atomic load.
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static THREAD_INDEX: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+fn thread_index() -> u64 {
+    THREAD_INDEX.with(|slot| match slot.get() {
+        Some(i) => i,
+        None => {
+            let i = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            slot.set(Some(i));
+            i
+        }
+    })
+}
+
+/// `true` when collection is on. Cost when off: one relaxed atomic load
+/// (after the first call, which consults `PAQOC_TRACE` once).
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = env_value().is_some();
+    // A concurrent set_enabled wins: only replace the uninit state.
+    let target = if on { STATE_ON } else { STATE_OFF };
+    let _ = STATE.compare_exchange(STATE_UNINIT, target, Ordering::Relaxed, Ordering::Relaxed);
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// The truthy value of `PAQOC_TRACE`, if any.
+fn env_value() -> Option<String> {
+    match std::env::var(ENV_VAR) {
+        Ok(v) if !v.is_empty() && v != "0" && v.to_lowercase() != "false" => Some(v),
+        _ => None,
+    }
+}
+
+/// The JSONL dump path named by `PAQOC_TRACE`, when its value looks like
+/// a file path (`trace.jsonl`, `/tmp/run1.jsonl`, …) rather than a bare
+/// boolean flag.
+pub fn env_trace_path() -> Option<std::path::PathBuf> {
+    let v = env_value()?;
+    if v.contains('/') || v.ends_with(".jsonl") || v.ends_with(".json") {
+        Some(std::path::PathBuf::from(v))
+    } else {
+        None
+    }
+}
+
+/// Turns collection on or off programmatically (overrides `PAQOC_TRACE`).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Discards every recorded span, counter and histogram.
+pub fn reset() {
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    *reg = Registry::default();
+}
+
+/// One completed span: a named scope with wall-clock timing and its
+/// position in the span tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, monotonically assigned at entry).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// The span's name (e.g. `compile`, `mine`).
+    pub name: String,
+    /// Small per-process index of the recording thread.
+    pub thread: u64,
+    /// Entry time, nanoseconds since the process's telemetry epoch.
+    pub start_ns: u64,
+    /// Wall time between entry and exit, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// Aggregate of the values fed to [`observe`] under one name.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl Histogram {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// An immutable copy of everything recorded so far. Spans appear in
+/// completion order (children before their parents).
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Completed spans.
+    pub spans: Vec<SpanRecord>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram aggregates by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Copies the current telemetry state out of the global registry.
+pub fn snapshot() -> Snapshot {
+    let reg = registry().lock().expect("telemetry registry poisoned");
+    Snapshot {
+        spans: reg.spans.clone(),
+        counters: reg.counters.clone(),
+        histograms: reg.histograms.clone(),
+    }
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+#[must_use = "a span measures the scope it lives in — bind it to a variable"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+#[derive(Debug)]
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    start: Instant,
+}
+
+/// Opens a named span. The returned guard records wall time from this
+/// call until it is dropped; spans opened while another guard is live on
+/// the same thread become its children. No-op (and allocation-free) when
+/// collection is disabled.
+pub fn span(name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { live: None };
+    }
+    let _ = epoch(); // pin the epoch no later than the first span's start
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        live: Some(LiveSpan {
+            id,
+            parent,
+            name: name.into(),
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        let duration_ns = live.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let start_ns = live
+            .start
+            .duration_since(epoch())
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop in LIFO order; tolerate manual
+            // out-of-order drops by removing this id wherever it is.
+            if let Some(pos) = stack.iter().rposition(|&s| s == live.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            thread: thread_index(),
+            start_ns,
+            duration_ns,
+        };
+        let mut reg = registry().lock().expect("telemetry registry poisoned");
+        reg.spans.push(record);
+    }
+}
+
+/// Adds `delta` to the named counter. No-op when collection is disabled.
+pub fn counter(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    *reg.counters.entry(name.to_string()).or_insert(0) += delta;
+}
+
+/// Records one value into the named histogram. No-op when disabled.
+pub fn observe(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    reg.histograms
+        .entry(name.to_string())
+        .or_default()
+        .record(value);
+}
+
+/// Writes the current snapshot as JSONL to the path named by
+/// `PAQOC_TRACE`, if it names one. Returns the path written.
+pub fn write_env_trace() -> std::io::Result<Option<std::path::PathBuf>> {
+    let Some(path) = env_trace_path() else {
+        return Ok(None);
+    };
+    std::fs::write(&path, snapshot().to_jsonl())?;
+    Ok(Some(path))
+}
+
+/// Opens a span; sugar for [`span`]. `span!("mine")` must be bound
+/// (`let _s = span!("mine");`) to measure the enclosing scope.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Adds to a counter; sugar for [`counter`]. Defaults to a delta of 1.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter($name, 1)
+    };
+    ($name:expr, $delta:expr) => {
+        $crate::counter($name, $delta)
+    };
+}

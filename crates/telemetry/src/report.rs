@@ -1,0 +1,147 @@
+//! Snapshot exporters: the JSONL trace and the human-readable
+//! span-tree / counter-table report printed by the `profile` bench bin.
+
+use crate::json::write_escaped;
+use crate::{Snapshot, SpanRecord};
+use std::fmt::Write as _;
+
+impl Snapshot {
+    /// Serializes the snapshot as JSON Lines: one object per span (in
+    /// completion order), then one per counter, then one per histogram.
+    /// Every line parses back with [`crate::json::parse`].
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            out.push_str("{\"type\":\"span\",\"id\":");
+            let _ = write!(out, "{}", s.id);
+            out.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            write_escaped(&mut out, &s.name);
+            let _ = write!(
+                out,
+                ",\"thread\":{},\"start_ns\":{},\"duration_ns\":{}}}\n",
+                s.thread, s.start_ns, s.duration_ns
+            );
+        }
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"value\":{value}}}\n");
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            write_escaped(&mut out, name);
+            let _ = write!(out, ",\"count\":{},\"sum\":", h.count);
+            write_f64(&mut out, h.sum);
+            out.push_str(",\"min\":");
+            write_f64(&mut out, h.min);
+            out.push_str(",\"max\":");
+            write_f64(&mut out, h.max);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders the span tree (with per-phase wall time and the share of
+    /// the root span) and the counter/histogram tables as plain text —
+    /// the offline stand-in for the paper's Fig. 14 cost breakdown.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── span tree ──────────────────────────────────────────────\n");
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded — is tracing enabled?)\n");
+        }
+        let roots = self.root_spans();
+        let total_ns: u64 = roots.iter().map(|s| s.duration_ns).sum();
+        for root in &roots {
+            self.render_span(&mut out, root, 0, total_ns);
+        }
+        if !self.counters.is_empty() {
+            out.push_str("── counters ───────────────────────────────────────────────\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "{name:<44} {value:>12}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("── histograms ─────────────────────────────────────────────\n");
+            let _ = writeln!(
+                out,
+                "{:<32} {:>8} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "min", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:<32} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                    name,
+                    h.count,
+                    h.mean(),
+                    h.min,
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Spans with no recorded parent, in start order.
+    pub fn root_spans(&self) -> Vec<&SpanRecord> {
+        let mut roots: Vec<&SpanRecord> = self
+            .spans
+            .iter()
+            .filter(|s| {
+                s.parent
+                    .map_or(true, |p| !self.spans.iter().any(|c| c.id == p))
+            })
+            .collect();
+        roots.sort_by_key(|s| (s.start_ns, s.id));
+        roots
+    }
+
+    /// Direct children of `parent`, in start order.
+    pub fn children_of(&self, parent: u64) -> Vec<&SpanRecord> {
+        let mut kids: Vec<&SpanRecord> = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(parent))
+            .collect();
+        kids.sort_by_key(|s| (s.start_ns, s.id));
+        kids
+    }
+
+    /// Every recorded span with the given name, in start order.
+    pub fn spans_named(&self, name: &str) -> Vec<&SpanRecord> {
+        let mut found: Vec<&SpanRecord> = self.spans.iter().filter(|s| s.name == name).collect();
+        found.sort_by_key(|s| (s.start_ns, s.id));
+        found
+    }
+
+    fn render_span(&self, out: &mut String, span: &SpanRecord, depth: usize, total_ns: u64) {
+        let ms = span.duration_ns as f64 / 1e6;
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * span.duration_ns as f64 / total_ns as f64
+        };
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", span.name);
+        let _ = writeln!(out, "{label:<40} {ms:>12.3} ms {share:>6.1}%");
+        for child in self.children_of(span.id) {
+            self.render_span(out, child, depth + 1, total_ns);
+        }
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}

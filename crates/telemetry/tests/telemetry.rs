@@ -1,0 +1,191 @@
+//! Behavioural tests of the global collector. The registry is
+//! process-wide, so every test serializes on one lock and resets the
+//! state it depends on.
+
+use paqoc_telemetry::json::{parse, Value};
+use paqoc_telemetry::{counter, observe, reset, set_enabled, snapshot, span};
+use std::sync::Mutex;
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Locks out other tests, enables collection, and clears the registry.
+fn fresh() -> std::sync::MutexGuard<'static, ()> {
+    let guard = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    set_enabled(true);
+    reset();
+    guard
+}
+
+#[test]
+fn spans_nest_and_record_in_completion_order() {
+    let _lock = fresh();
+    {
+        let _compile = span("compile");
+        {
+            let _mine = span("mine");
+        }
+        {
+            let _generate = span("generate");
+        }
+    }
+    let snap = snapshot();
+    set_enabled(false);
+
+    // Children complete before the parent.
+    let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["mine", "generate", "compile"]);
+
+    let compile = snap.spans_named("compile")[0];
+    let mine = snap.spans_named("mine")[0];
+    let generate = snap.spans_named("generate")[0];
+    assert_eq!(compile.parent, None);
+    assert_eq!(mine.parent, Some(compile.id));
+    assert_eq!(generate.parent, Some(compile.id));
+    // Sibling ordering by start time: mine entered first.
+    let kids = snap.children_of(compile.id);
+    assert_eq!(kids[0].name, "mine");
+    assert_eq!(kids[1].name, "generate");
+    // A parent's wall time covers its children.
+    assert!(compile.duration_ns >= mine.duration_ns + generate.duration_ns);
+}
+
+#[test]
+fn counters_aggregate_across_threads() {
+    let _lock = fresh();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..1000 {
+                    counter("stress.increments", 1);
+                }
+                observe("stress.values", 2.5);
+            });
+        }
+    });
+    let snap = snapshot();
+    set_enabled(false);
+    assert_eq!(snap.counters["stress.increments"], 8000);
+    let h = &snap.histograms["stress.values"];
+    assert_eq!(h.count, 8);
+    assert!((h.sum - 20.0).abs() < 1e-12);
+    assert_eq!(h.min, 2.5);
+    assert_eq!(h.max, 2.5);
+}
+
+#[test]
+fn spans_on_different_threads_do_not_adopt_each_other() {
+    let _lock = fresh();
+    let _outer = span("outer");
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _worker = span("worker");
+        });
+    });
+    drop(_outer);
+    let snap = snapshot();
+    set_enabled(false);
+    let worker = snap.spans_named("worker")[0];
+    assert_eq!(worker.parent, None, "span stacks are per-thread");
+    let outer = snap.spans_named("outer")[0];
+    assert_ne!(worker.thread, outer.thread);
+}
+
+#[test]
+fn jsonl_lines_parse_back_to_the_snapshot() {
+    let _lock = fresh();
+    {
+        let _a = span("alpha \"quoted\"\n");
+        counter("beta.count", 7);
+        observe("gamma.hist", 1.5);
+        observe("gamma.hist", 2.5);
+    }
+    let snap = snapshot();
+    set_enabled(false);
+
+    let jsonl = snap.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 3);
+    let parsed: Vec<Value> = lines
+        .iter()
+        .map(|l| parse(l).expect("every JSONL line parses"))
+        .collect();
+
+    let span_line = &parsed[0];
+    assert_eq!(span_line.get("type").and_then(Value::as_str), Some("span"));
+    assert_eq!(
+        span_line.get("name").and_then(Value::as_str),
+        Some("alpha \"quoted\"\n"),
+        "escaping must round-trip"
+    );
+    assert_eq!(
+        span_line.get("duration_ns").and_then(Value::as_num),
+        Some(snap.spans[0].duration_ns as f64)
+    );
+
+    let counter_line = &parsed[1];
+    assert_eq!(
+        counter_line.get("name").and_then(Value::as_str),
+        Some("beta.count")
+    );
+    assert_eq!(counter_line.get("value").and_then(Value::as_num), Some(7.0));
+
+    let hist_line = &parsed[2];
+    assert_eq!(hist_line.get("count").and_then(Value::as_num), Some(2.0));
+    assert_eq!(hist_line.get("sum").and_then(Value::as_num), Some(4.0));
+    assert_eq!(hist_line.get("min").and_then(Value::as_num), Some(1.5));
+    assert_eq!(hist_line.get("max").and_then(Value::as_num), Some(2.5));
+}
+
+#[test]
+fn disabled_collector_records_nothing() {
+    let _lock = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    set_enabled(true);
+    reset();
+    set_enabled(false);
+    {
+        let _s = span("ghost");
+        counter("ghost.count", 1);
+        observe("ghost.hist", 1.0);
+    }
+    let snap = snapshot();
+    assert!(snap.spans.is_empty(), "{:?}", snap.spans);
+    assert!(snap.counters.is_empty());
+    assert!(snap.histograms.is_empty());
+}
+
+#[test]
+fn report_renders_tree_counters_and_histograms() {
+    let _lock = fresh();
+    {
+        let _c = span("compile");
+        let _m = span("mine");
+        counter("miner.patterns_found", 4);
+        observe("table.group_qubits", 2.0);
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    let report = snap.render_report();
+    assert!(report.contains("compile"));
+    assert!(
+        report.contains("  mine"),
+        "children are indented:\n{report}"
+    );
+    assert!(report.contains("miner.patterns_found"));
+    assert!(report.contains("table.group_qubits"));
+    assert!(report.contains('%'));
+}
+
+#[test]
+fn macros_expand_to_the_collector_calls() {
+    let _lock = fresh();
+    {
+        let _s = paqoc_telemetry::span!("macro_span");
+        paqoc_telemetry::counter!("macro.default_delta");
+        paqoc_telemetry::counter!("macro.explicit_delta", 5);
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    assert_eq!(snap.spans_named("macro_span").len(), 1);
+    assert_eq!(snap.counters["macro.default_delta"], 1);
+    assert_eq!(snap.counters["macro.explicit_delta"], 5);
+}

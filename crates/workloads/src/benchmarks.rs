@@ -23,7 +23,9 @@ pub struct Benchmark {
 
 impl std::fmt::Debug for Benchmark {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Benchmark").field("name", &self.name).finish()
+        f.debug_struct("Benchmark")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -347,7 +349,9 @@ fn supremacy() -> Circuit {
     }
     let mut pick = 7u64;
     let mut next = || {
-        pick = pick.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        pick = pick
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (pick >> 33) % 3
     };
     for layer in 0..4 {

@@ -8,8 +8,7 @@
 //! set, exactly the unit the paper compares merged-vs-summed latency on.
 
 use paqoc_circuit::{decompose, Basis, Circuit, Instruction};
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use paqoc_math::Rng;
 use std::collections::BTreeSet;
 
 /// Generates the `count`-circuit corpus (the paper uses 150).
@@ -24,7 +23,7 @@ pub fn corpus(count: usize, seed: u64) -> Vec<Circuit> {
 
 /// One deterministic reversible-network circuit.
 pub fn random_reversible_circuit(seed: u64) -> Circuit {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let n = rng.random_range(4..=16usize);
     let gates = rng.random_range(20..=200usize);
     let mut c = Circuit::new(n);
@@ -56,7 +55,7 @@ pub fn random_reversible_circuit(seed: u64) -> Circuit {
     c
 }
 
-fn two_distinct(rng: &mut impl Rng, n: usize) -> (usize, usize) {
+fn two_distinct(rng: &mut Rng, n: usize) -> (usize, usize) {
     let a = rng.random_range(0..n);
     let mut b = rng.random_range(0..n - 1);
     if b >= a {
@@ -65,7 +64,7 @@ fn two_distinct(rng: &mut impl Rng, n: usize) -> (usize, usize) {
     (a, b)
 }
 
-fn three_distinct(rng: &mut impl Rng, n: usize) -> (usize, usize, usize) {
+fn three_distinct(rng: &mut Rng, n: usize) -> (usize, usize, usize) {
     let (a, b) = two_distinct(rng, n);
     let mut t = rng.random_range(0..n);
     while t == a || t == b {

@@ -14,13 +14,20 @@ fn main() {
     let qaoa = (benchmark("qaoa").expect("qaoa is registered").build)();
     let device = Device::grid5x5();
 
-    println!("{:<16} {:>12} {:>10} {:>12} {:>8}", "config", "latency(dt)", "ESP", "cost(units)", "pulses");
+    println!(
+        "{:<16} {:>12} {:>10} {:>12} {:>8}",
+        "config", "latency(dt)", "ESP", "cost(units)", "pulses"
+    );
 
     let mut src = AnalyticModel::new();
     let acc = compile_accqoc(&qaoa, &device, &mut src, &AccqocOptions::n3d3());
     println!(
         "{:<16} {:>12} {:>9.2}% {:>12.1} {:>8}",
-        "accqoc_n3d3", acc.latency_dt, acc.esp * 100.0, acc.stats.cost_units, acc.stats.pulses_generated
+        "accqoc_n3d3",
+        acc.latency_dt,
+        acc.esp * 100.0,
+        acc.stats.cost_units,
+        acc.stats.pulses_generated
     );
 
     for (name, opts) in [
@@ -32,7 +39,11 @@ fn main() {
         let r = compile(&qaoa, &device, &mut src, &opts);
         println!(
             "{:<16} {:>12} {:>9.2}% {:>12.1} {:>8}",
-            name, r.latency_dt, r.esp * 100.0, r.stats.cost_units, r.stats.pulses_generated
+            name,
+            r.latency_dt,
+            r.esp * 100.0,
+            r.stats.cost_units,
+            r.stats.pulses_generated
         );
         if !r.apa.selections.is_empty() && name == "paqoc(M=inf)" {
             println!("\nAPA-basis gates mined from the routed QAOA circuit:");

@@ -20,7 +20,10 @@ fn main() {
 
     println!("physical gates      : {}", result.physical.len());
     println!("customized gates    : {}", result.num_groups());
-    println!("circuit latency     : {} dt ({:.1} ns)", result.latency_dt, result.latency_ns);
+    println!(
+        "circuit latency     : {} dt ({:.1} ns)",
+        result.latency_dt, result.latency_ns
+    );
     println!("estimated success   : {:.2}%", result.esp * 100.0);
     println!("pulses generated    : {}", result.stats.pulses_generated);
     println!("pulse-table hits    : {}", result.stats.cache_hits);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, formatting.
+# Everything runs offline — the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "verify: OK"

@@ -18,7 +18,10 @@
 //!   the pulse table and the end-to-end [`core::compile`] pipeline;
 //! * [`accqoc`] — the AccQOC baseline;
 //! * [`workloads`] — the seventeen Table-I benchmarks and the
-//!   150-circuit observation corpus.
+//!   150-circuit observation corpus;
+//! * [`telemetry`] — zero-dependency phase spans, pipeline counters and
+//!   JSONL traces (enable with the `PAQOC_TRACE` environment variable
+//!   or `PipelineOptions::trace`).
 //!
 //! ## Quickstart
 //!
@@ -47,4 +50,5 @@ pub use paqoc_grape as grape;
 pub use paqoc_mapping as mapping;
 pub use paqoc_math as math;
 pub use paqoc_mining as mining;
+pub use paqoc_telemetry as telemetry;
 pub use paqoc_workloads as workloads;

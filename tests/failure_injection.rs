@@ -22,7 +22,9 @@ impl PulseSource for AntiMergeSource {
         target_fidelity: f64,
         warm_start: Option<f64>,
     ) -> PulseEstimate {
-        let mut est = self.inner.generate(group, device, target_fidelity, warm_start);
+        let mut est = self
+            .inner
+            .generate(group, device, target_fidelity, warm_start);
         if group.len() > 1 {
             est.latency_ns += 500.0; // merged pulses are terrible here
             est.latency_dt = device.spec().ns_to_dt(est.latency_ns);
@@ -52,7 +54,9 @@ impl PulseSource for LowFidelity3q {
         target_fidelity: f64,
         warm_start: Option<f64>,
     ) -> PulseEstimate {
-        let mut est = self.inner.generate(group, device, target_fidelity, warm_start);
+        let mut est = self
+            .inner
+            .generate(group, device, target_fidelity, warm_start);
         let qubits: std::collections::BTreeSet<usize> = group
             .iter()
             .flat_map(|i| i.qubits().iter().copied())
@@ -117,7 +121,12 @@ fn fidelity_collapse_shows_up_in_esp_not_in_a_crash() {
         .into_iter()
         .any(|id| r_bad.grouped.group(id).qubits.len() >= 3);
     if has_3q {
-        assert!(r_bad.esp < 0.9 * r_good.esp, "{} vs {}", r_bad.esp, r_good.esp);
+        assert!(
+            r_bad.esp < 0.9 * r_good.esp,
+            "{} vs {}",
+            r_bad.esp,
+            r_good.esp
+        );
     }
 }
 

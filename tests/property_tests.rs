@@ -1,74 +1,85 @@
-//! Property-based tests over the workspace's core invariants.
+//! Property-style tests over the workspace's core invariants.
+//!
+//! Each invariant is exercised on a deterministic family of random
+//! inputs drawn from the in-tree PRNG (no external property-testing
+//! framework in this offline build): a fixed set of seeds drives the
+//! same generator a fuzzer would, so failures reproduce exactly.
 
 use paqoc::circuit::{
     apply_gate_to_state, decompose, embed_unitary, Basis, Circuit, DependencyDag, GateKind,
 };
 use paqoc::device::{AnalyticModel, Device, PulseSource, Topology};
 use paqoc::mapping::{sabre_map, SabreOptions};
-use paqoc::math::{
-    expm, random_unitary_seeded, trace_fidelity, weyl_coordinates, C64,
-};
+use paqoc::math::{expm, random_unitary_seeded, trace_fidelity, weyl_coordinates, Rng, C64};
 use paqoc::mining::{mine_frequent_subcircuits, CircuitGraph, MinerOptions, Reachability};
-use proptest::prelude::*;
 
-/// A strategy for small random circuits over a mixed gate set.
-fn arb_circuit(max_qubits: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    let gate = (0u8..8, 0usize..max_qubits, 0usize..max_qubits, -3.0f64..3.0);
-    (2usize..=max_qubits, proptest::collection::vec(gate, 1..max_gates)).prop_map(
-        move |(n, gates)| {
-            let mut c = Circuit::new(n);
-            for (kind, a, b, theta) in gates {
-                let a = a % n;
-                let b = b % n;
-                match kind {
-                    0 => {
-                        c.h(a);
-                    }
-                    1 => {
-                        c.x(a);
-                    }
-                    2 => {
-                        c.t(a);
-                    }
-                    3 => {
-                        c.rz(a, theta);
-                    }
-                    4 | 5 if a != b => {
-                        c.cx(a, b);
-                    }
-                    6 if a != b => {
-                        c.cz(a, b);
-                    }
-                    7 if a != b => {
-                        c.swap(a, b);
-                    }
-                    _ => {
-                        c.sx(a);
-                    }
-                }
+/// Number of random cases per invariant (proptest used 24).
+const CASES: u64 = 24;
+
+/// A small random circuit over a mixed gate set, deterministic per seed —
+/// the same distribution the old proptest strategy drew from.
+fn random_circuit(seed: u64, max_qubits: usize, max_gates: usize) -> Circuit {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = rng.random_range(2..=max_qubits);
+    let gates = rng.random_range(1..max_gates.max(2));
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        let kind = rng.random_range(0..8u32);
+        let a = rng.random_range(0..max_qubits) % n;
+        let b = rng.random_range(0..max_qubits) % n;
+        let theta = rng.random_range(-3.0..3.0f64);
+        match kind {
+            0 => {
+                c.h(a);
             }
-            c
-        },
-    )
+            1 => {
+                c.x(a);
+            }
+            2 => {
+                c.t(a);
+            }
+            3 => {
+                c.rz(a, theta);
+            }
+            4 | 5 if a != b => {
+                c.cx(a, b);
+            }
+            6 if a != b => {
+                c.cz(a, b);
+            }
+            7 if a != b => {
+                c.swap(a, b);
+            }
+            _ => {
+                c.sx(a);
+            }
+        }
+    }
+    c
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn decomposition_preserves_the_unitary(c in arb_circuit(4, 12)) {
+#[test]
+fn decomposition_preserves_the_unitary() {
+    for seed in 0..CASES {
+        let c = random_circuit(seed, 4, 12);
         let low = decompose(&c, Basis::Ibm);
         let f = trace_fidelity(&c.unitary(), &low.unitary());
-        prop_assert!(f > 1.0 - 1e-8, "fidelity {f}");
+        assert!(f > 1.0 - 1e-8, "seed {seed}: fidelity {f}");
     }
+}
 
-    #[test]
-    fn circuit_unitaries_are_unitary(c in arb_circuit(4, 12)) {
-        prop_assert!(c.unitary().is_unitary(1e-8));
+#[test]
+fn circuit_unitaries_are_unitary() {
+    for seed in 0..CASES {
+        let c = random_circuit(seed.wrapping_add(100), 4, 12);
+        assert!(c.unitary().is_unitary(1e-8), "seed {seed}");
     }
+}
 
-    #[test]
-    fn state_application_matches_matrix_action(c in arb_circuit(3, 10)) {
+#[test]
+fn state_application_matches_matrix_action() {
+    for seed in 0..CASES {
+        let c = random_circuit(seed.wrapping_add(200), 3, 10);
         let u = c.unitary();
         let dim = 1usize << c.num_qubits();
         for col in [0usize, dim - 1] {
@@ -78,74 +89,110 @@ proptest! {
                 apply_gate_to_state(&inst.unitary(), inst.qubits(), &mut state);
             }
             for r in 0..dim {
-                prop_assert!((state[r] - u[(r, col)]).abs() < 1e-8);
+                assert!(
+                    (state[r] - u[(r, col)]).abs() < 1e-8,
+                    "seed {seed}, column {col}, row {r}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn expm_of_skew_hermitian_is_unitary(seed in 0u64..500) {
+#[test]
+fn expm_of_skew_hermitian_is_unitary() {
+    for seed in 0..32 {
         // -i·H with random Hermitian H = A + A†.
         let a = random_unitary_seeded(4, seed);
         let h = &a + &a.dagger();
         let u = expm(&h.scaled(C64::new(0.0, -0.37)));
-        prop_assert!(u.is_unitary(1e-8));
+        assert!(u.is_unitary(1e-8), "seed {seed}");
     }
+}
 
-    #[test]
-    fn weyl_content_is_invariant_under_local_dressing(seed in 0u64..200) {
+#[test]
+fn weyl_content_is_invariant_under_local_dressing() {
+    for seed in 0..32u64 {
         let u = random_unitary_seeded(4, seed);
         let l1 = random_unitary_seeded(2, seed.wrapping_add(1000));
         let l2 = random_unitary_seeded(2, seed.wrapping_add(2000));
         let dressed = l1.kron(&l2).matmul(&u);
         let w1 = weyl_coordinates(&u).interaction_content();
         let w2 = weyl_coordinates(&dressed).interaction_content();
-        prop_assert!((w1 - w2).abs() < 1e-3, "{w1} vs {w2}");
+        assert!((w1 - w2).abs() < 1e-3, "seed {seed}: {w1} vs {w2}");
     }
+}
 
-    #[test]
-    fn embedding_preserves_unitarity(seed in 0u64..100, q0 in 0usize..3, q1 in 0usize..3) {
-        prop_assume!(q0 != q1);
+#[test]
+fn embedding_preserves_unitarity() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed.wrapping_add(300));
+        let q0 = rng.random_range(0..3usize);
+        let q1 = rng.random_range(0..3usize);
+        if q0 == q1 {
+            continue;
+        }
         let g = random_unitary_seeded(4, seed);
         let e = embed_unitary(&g, &[q0, q1], 3);
-        prop_assert!(e.is_unitary(1e-8));
+        assert!(e.is_unitary(1e-8), "seed {seed}, qubits {q0},{q1}");
     }
+}
 
-    #[test]
-    fn sabre_routes_every_two_qubit_gate_onto_a_coupler(c in arb_circuit(5, 14)) {
+#[test]
+fn sabre_routes_every_two_qubit_gate_onto_a_coupler() {
+    for seed in 0..CASES {
+        let c = random_circuit(seed.wrapping_add(400), 5, 14);
         let topo = Topology::grid(3, 3);
         let lowered = decompose(&c, Basis::Ibm);
         let mapped = sabre_map(&lowered, &topo, &SabreOptions::default());
         for inst in mapped.circuit.iter() {
             if inst.qubits().len() == 2 {
-                prop_assert!(topo.are_coupled(inst.qubits()[0], inst.qubits()[1]));
+                assert!(
+                    topo.are_coupled(inst.qubits()[0], inst.qubits()[1]),
+                    "seed {seed}: {inst} off-coupler"
+                );
             }
         }
-        prop_assert_eq!(mapped.circuit.len(), lowered.len() + mapped.swaps_inserted);
+        assert_eq!(
+            mapped.circuit.len(),
+            lowered.len() + mapped.swaps_inserted,
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn mined_instances_are_convex_and_capped(c in arb_circuit(5, 20)) {
-        let opts = MinerOptions { max_qubits: 3, max_gates: 4, ..MinerOptions::default() };
+#[test]
+fn mined_instances_are_convex_and_capped() {
+    for seed in 0..CASES {
+        let c = random_circuit(seed.wrapping_add(500), 5, 20);
+        let opts = MinerOptions {
+            max_qubits: 3,
+            max_gates: 4,
+            ..MinerOptions::default()
+        };
         let graph = CircuitGraph::from_circuit(&c);
         let reach = Reachability::new(&graph);
         for p in mine_frequent_subcircuits(&c, &opts) {
-            prop_assert!(p.num_qubits <= 3);
-            prop_assert!(p.num_gates <= 4);
-            prop_assert!(p.support() >= 2);
+            assert!(p.num_qubits <= 3, "seed {seed}");
+            assert!(p.num_gates <= 4, "seed {seed}");
+            assert!(p.support() >= 2, "seed {seed}");
             for inst in &p.instances {
-                prop_assert!(reach.is_convex(inst));
+                assert!(reach.is_convex(inst), "seed {seed}: {inst:?}");
             }
         }
     }
+}
 
-    #[test]
-    fn observation1_merging_is_subadditive(c in arb_circuit(3, 6)) {
+#[test]
+fn observation1_merging_is_subadditive() {
+    for seed in 0..CASES {
         // Any whole-circuit group costs at most the sum of its gates.
+        let c = random_circuit(seed.wrapping_add(600), 3, 6);
         let device = Device::grid5x5();
         let mut model = AnalyticModel::new();
         let group: Vec<_> = c.instructions().to_vec();
-        prop_assume!(!group.is_empty());
+        if group.is_empty() {
+            continue;
+        }
         let merged = model.generate(&group, &device, 0.999, None).latency_ns;
         let sum: f64 = group
             .iter()
@@ -155,36 +202,45 @@ proptest! {
                     .latency_ns
             })
             .sum();
-        prop_assert!(merged <= sum * 1.01, "merged {merged} vs sum {sum}");
+        assert!(
+            merged <= sum * 1.01,
+            "seed {seed}: merged {merged} vs sum {sum}"
+        );
     }
+}
 
-    #[test]
-    fn dag_critical_path_bounds_total_weight(c in arb_circuit(4, 15)) {
+#[test]
+fn dag_critical_path_bounds_total_weight() {
+    for seed in 0..CASES {
+        let c = random_circuit(seed.wrapping_add(700), 4, 15);
         let dag = DependencyDag::from_circuit(&c);
-        prop_assume!(!dag.is_empty());
+        if dag.is_empty() {
+            continue;
+        }
         let weights: Vec<f64> = (0..dag.len()).map(|i| 1.0 + (i % 5) as f64).collect();
         let span = dag.makespan(&weights);
         let total: f64 = weights.iter().sum();
         let max_w = weights.iter().copied().fold(0.0, f64::max);
-        prop_assert!(span <= total + 1e-9);
-        prop_assert!(span >= max_w - 1e-9);
+        assert!(span <= total + 1e-9, "seed {seed}");
+        assert!(span >= max_w - 1e-9, "seed {seed}");
     }
+}
 
-    #[test]
-    fn gate_unitaries_respect_arity(kind in 0usize..8) {
-        let kinds = [
-            GateKind::H,
-            GateKind::X,
-            GateKind::Cx,
-            GateKind::Cz,
-            GateKind::Swap,
-            GateKind::Ccx,
-            GateKind::T,
-            GateKind::ISwap,
-        ];
-        let k = kinds[kind];
+#[test]
+fn gate_unitaries_respect_arity() {
+    let kinds = [
+        GateKind::H,
+        GateKind::X,
+        GateKind::Cx,
+        GateKind::Cz,
+        GateKind::Swap,
+        GateKind::Ccx,
+        GateKind::T,
+        GateKind::ISwap,
+    ];
+    for k in kinds {
         let u = k.unitary(&[]);
-        prop_assert_eq!(u.rows(), 1 << k.num_qubits());
-        prop_assert!(u.is_unitary(1e-10));
+        assert_eq!(u.rows(), 1 << k.num_qubits(), "{k:?}");
+        assert!(u.is_unitary(1e-10), "{k:?}");
     }
 }

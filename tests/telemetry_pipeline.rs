@@ -1,0 +1,108 @@
+//! End-to-end telemetry integration: a real compilation must emit the
+//! documented phase spans and counters, and the telemetry view must
+//! agree with the pipeline's own accounting.
+//!
+//! Telemetry state is process-global, so this lives in its own test
+//! binary (integration tests each get their own process) and runs the
+//! pipeline exactly once up front.
+
+use paqoc::circuit::Circuit;
+use paqoc::core::{compile, PipelineOptions};
+use paqoc::device::{AnalyticModel, Device};
+use paqoc::telemetry;
+
+fn qaoa_like() -> Circuit {
+    let mut c = Circuit::new(4);
+    for _ in 0..2 {
+        for (a, b) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            c.cp(a, b, 0.7);
+        }
+        for q in 0..4 {
+            c.rx(q, 0.35);
+        }
+    }
+    c
+}
+
+#[test]
+fn compile_emits_phase_spans_and_matching_counters() {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let device = Device::grid5x5();
+    let mut source = AnalyticModel::new();
+    let result = compile(
+        &qaoa_like(),
+        &device,
+        &mut source,
+        &PipelineOptions::m_inf(),
+    );
+    let snap = telemetry::snapshot();
+    telemetry::set_enabled(false);
+
+    // The documented span taxonomy, all nested under `compile`.
+    let compile_span = snap.spans_named("compile");
+    assert_eq!(compile_span.len(), 1);
+    let root = compile_span[0];
+    assert_eq!(root.parent, None);
+    for phase in ["lower", "map", "mine", "group", "generate"] {
+        let spans = snap.spans_named(phase);
+        assert_eq!(spans.len(), 1, "expected exactly one `{phase}` span");
+        assert_eq!(
+            spans[0].parent,
+            Some(root.id),
+            "`{phase}` nests under compile"
+        );
+        assert!(root.duration_ns >= spans[0].duration_ns);
+    }
+
+    // The phase spans cover most of the compile span.
+    let phase_total: u64 = ["lower", "map", "mine", "group", "generate"]
+        .iter()
+        .map(|p| snap.spans_named(p)[0].duration_ns)
+        .sum();
+    assert!(phase_total <= root.duration_ns);
+
+    // Telemetry's pulse-table counters agree with CompileStats.
+    let sum_prefix = |prefix: &str| -> u64 {
+        snap.counters
+            .iter()
+            .filter(|(name, _)| name.starts_with(prefix))
+            .map(|(_, &v)| v)
+            .sum()
+    };
+    assert_eq!(
+        sum_prefix("table.cache_hit.") as usize,
+        result.stats.cache_hits,
+        "telemetry cache hits must equal CompileStats::cache_hits"
+    );
+    assert_eq!(
+        sum_prefix("table.cache_miss.") as usize,
+        result.stats.pulses_generated,
+        "every miss generates exactly one pulse"
+    );
+
+    // The generator loop reported its work through both channels too.
+    assert_eq!(
+        snap.counters
+            .get("generator.iterations")
+            .copied()
+            .unwrap_or(0) as usize,
+        result.report.iterations
+    );
+    assert_eq!(
+        snap.counters
+            .get("generator.preprocess_merges")
+            .copied()
+            .unwrap_or(0) as usize,
+        result.report.preprocess_merges
+    );
+
+    // An M=inf run on a QAOA-like circuit accepts APA occurrences.
+    assert!(snap.counters.get("apa.accepted").copied().unwrap_or(0) > 0);
+
+    // And the JSONL export of this real run round-trips line by line.
+    let jsonl = snap.to_jsonl();
+    for line in jsonl.lines() {
+        telemetry::json::parse(line).expect("every exported line parses");
+    }
+}
