@@ -76,7 +76,7 @@ pub fn partition_fixed(circuit: &Circuit, max_qubits: usize, depth: usize) -> Fi
         let joinable = match candidate {
             Some(b) => {
                 block_window[b] == window_of[i]
-                    && owners.iter().all(|o| o.map_or(true, |x| x == b))
+                    && owners.iter().all(|o| o.is_none_or(|x| x == b))
                     && {
                         let mut qset = block_qubits[b].clone();
                         for &q in qs {

@@ -14,8 +14,8 @@ fn main() {
     let cx = Instruction::new(GateKind::Cx, vec![0, 1], vec![]);
 
     println!("=== Fig. 2: merged vs separate pulse generation (real GRAPE) ===");
-    let h_alone = grape.generate(&[h.clone()], &device, 0.99, None);
-    let cx_alone = grape.generate(&[cx.clone()], &device, 0.99, None);
+    let h_alone = grape.generate(std::slice::from_ref(&h), &device, 0.99, None);
+    let cx_alone = grape.generate(std::slice::from_ref(&cx), &device, 0.99, None);
     let merged = grape.generate(&[h, cx], &device, 0.99, None);
 
     println!(

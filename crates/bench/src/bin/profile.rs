@@ -48,12 +48,19 @@ fn main() {
 
     let snap = paqoc_telemetry::snapshot();
     println!(
-        "profile: {} / paqoc({config}) — {} physical gates, {} groups, {} dt",
+        "profile: {} / paqoc({config}) — {} physical gates, {} groups, {} dt{}",
         b.name,
         result.physical.len(),
         result.num_groups(),
-        result.latency_dt
+        result.latency_dt,
+        if result.partial { " (PARTIAL)" } else { "" }
     );
+    if !result.degradations.is_empty() {
+        println!("degradations ({}):", result.degradations.len());
+        for d in &result.degradations {
+            println!("  - {d}");
+        }
+    }
     println!();
     print!("{}", snap.render_report());
 

@@ -86,8 +86,8 @@ fn main() {
         let c = (benchmark(name).expect(name).build)();
         let o = evaluate_all_configs(&c, &device);
         print!("{name:<15}");
-        for k in 0..5 {
-            print!("{:>15.2}%", o[k].esp * 100.0);
+        for cfg in o.iter().take(5) {
+            print!("{:>15.2}%", cfg.esp * 100.0);
         }
         println!();
     }

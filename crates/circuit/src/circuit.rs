@@ -476,22 +476,22 @@ pub fn apply_gate_to_state(gate: &Matrix, qubits: &[usize], state: &mut [C64]) {
     let mut rest = 0usize;
     loop {
         // Gather amplitudes of the gate subspace at this `rest`.
-        for gi in 0..sub {
+        for (gi, s) in scratch.iter_mut().enumerate() {
             let mut idx = rest;
             for (pos, &q) in qubits.iter().enumerate() {
                 let bit = (gi >> (k - 1 - pos)) & 1;
                 idx |= bit << q;
             }
-            scratch[gi] = state[idx];
+            *s = state[idx];
         }
         let transformed = gate.apply(&scratch);
-        for gi in 0..sub {
+        for (gi, t) in transformed.iter().enumerate() {
             let mut idx = rest;
             for (pos, &q) in qubits.iter().enumerate() {
                 let bit = (gi >> (k - 1 - pos)) & 1;
                 idx |= bit << q;
             }
-            state[idx] = transformed[gi];
+            state[idx] = *t;
         }
         // Next `rest`: increment skipping the masked bits, wrapping at dim.
         rest = (rest | mask).wrapping_add(1) & (dim - 1) & !mask;

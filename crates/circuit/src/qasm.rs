@@ -1,9 +1,9 @@
 //! A pragmatic OpenQASM 2 subset: printing and parsing.
 //!
 //! Supports a single quantum register, the gate vocabulary of
-//! [`GateKind`], and angle expressions over `pi`, numeric literals, `* /
-//! + -` and parentheses — enough to exchange the evaluation benchmarks
-//! with other toolchains.
+//! [`GateKind`], and angle expressions over `pi`, numeric literals,
+//! `* / + -` and parentheses — enough to exchange the evaluation
+//! benchmarks with other toolchains.
 
 use crate::circuit::Circuit;
 use crate::gate::{Angle, GateKind};
@@ -150,7 +150,7 @@ fn parse_gate_statement(
     // Split "name(params) operands" into head and operand list.
     let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
         Some(pos)
-            if stmt[..pos].find('(').map_or(true, |p| {
+            if stmt[..pos].find('(').is_none_or(|p| {
                 // make sure we split after a balanced parameter list
                 stmt[p..pos].contains(')')
             }) =>

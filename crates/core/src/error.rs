@@ -1,0 +1,168 @@
+//! The typed error and degradation vocabulary of the pipeline.
+//!
+//! [`CompileError`] is what [`crate::try_compile`] returns when a
+//! compilation cannot produce a result at all; [`Degradation`] records
+//! what a *successful* compilation had to sacrifice along the way (see
+//! `CompilationResult::degradations`). The split is deliberate: under
+//! pulse-source failure the pipeline's contract is to degrade — retry,
+//! fall back, mark partial — and only error when degradation is
+//! impossible (malformed input, an unsatisfiable hard constraint, or
+//! fallbacks explicitly disabled).
+
+use paqoc_circuit::ParseQasmError;
+use paqoc_device::PulseGenError;
+use paqoc_mapping::MapError;
+use std::time::Duration;
+
+/// Why a compilation produced no result.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompileError {
+    /// The circuit cannot be placed on the device.
+    Mapping(MapError),
+    /// The input circuit is structurally unusable (zero qubits, a gate
+    /// addressing a qubit outside the register, a QASM parse failure).
+    MalformedCircuit(String),
+    /// The pulse source failed on a group and estimator fallback was
+    /// disabled (`PipelineOptions::allow_estimator_fallback = false`).
+    PulseSource {
+        /// The underlying generation failure.
+        source: PulseGenError,
+        /// Number of gates in the group that failed.
+        gates: usize,
+    },
+    /// The wall-clock deadline was already spent before compilation
+    /// could begin. (A deadline hit *during* generation degrades to a
+    /// partial result instead — see [`Degradation::DeadlineHit`].)
+    DeadlineExceeded {
+        /// The configured deadline.
+        deadline: Duration,
+    },
+    /// The compiled circuit's estimated success probability fell below
+    /// the hard floor requested via `PipelineOptions::min_esp`.
+    EspUnsatisfiable {
+        /// ESP the compilation achieved.
+        achieved: f64,
+        /// ESP floor that was required.
+        required: f64,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Mapping(e) => write!(f, "mapping failed: {e}"),
+            CompileError::MalformedCircuit(msg) => write!(f, "malformed circuit: {msg}"),
+            CompileError::PulseSource { source, gates } => {
+                write!(
+                    f,
+                    "pulse generation failed on a {gates}-gate group: {source}"
+                )
+            }
+            CompileError::DeadlineExceeded { deadline } => {
+                write!(
+                    f,
+                    "compilation deadline of {deadline:?} exceeded before start"
+                )
+            }
+            CompileError::EspUnsatisfiable { achieved, required } => write!(
+                f,
+                "achievable ESP {achieved:.6} is below the required floor {required:.6}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Mapping(e) => Some(e),
+            CompileError::PulseSource { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MapError> for CompileError {
+    fn from(e: MapError) -> Self {
+        CompileError::Mapping(e)
+    }
+}
+
+impl From<ParseQasmError> for CompileError {
+    fn from(e: ParseQasmError) -> Self {
+        CompileError::MalformedCircuit(e.to_string())
+    }
+}
+
+impl From<PulseGenError> for CompileError {
+    fn from(e: PulseGenError) -> Self {
+        CompileError::PulseSource {
+            source: e,
+            gates: 0,
+        }
+    }
+}
+
+/// One concession a successful compilation made to stay successful.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Degradation {
+    /// A customized (merged) group's pulse could not be generated even
+    /// after retries; the merge was rolled back and its gates were
+    /// re-attached from smaller groups.
+    MergeRolledBack {
+        /// Gates in the rolled-back group.
+        gates: usize,
+        /// Qubits the group spanned.
+        qubits: usize,
+        /// The generation failure that forced the rollback.
+        reason: String,
+    },
+    /// A group kept its analytic-model estimate because the real pulse
+    /// source failed on it even as a singleton.
+    EstimatorFallback {
+        /// Gates in the group.
+        gates: usize,
+        /// The generation failure that forced the fallback.
+        reason: String,
+    },
+    /// The wall-clock deadline expired mid-compilation; the phase named
+    /// here was cut short and the result is marked partial.
+    DeadlineHit {
+        /// Phase interrupted (`"merge"` or `"attach"`).
+        phase: String,
+    },
+    /// The pulse-generation cost budget ran out mid-compilation; the
+    /// result is marked partial.
+    CostBudgetExhausted {
+        /// Cost units spent when the budget tripped.
+        spent: f64,
+        /// The configured budget.
+        budget: f64,
+    },
+}
+
+impl std::fmt::Display for Degradation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Degradation::MergeRolledBack {
+                gates,
+                qubits,
+                reason,
+            } => write!(
+                f,
+                "rolled back a {gates}-gate merge on {qubits} qubits ({reason})"
+            ),
+            Degradation::EstimatorFallback { gates, reason } => write!(
+                f,
+                "kept the analytic estimate for a {gates}-gate group ({reason})"
+            ),
+            Degradation::DeadlineHit { phase } => {
+                write!(f, "deadline hit during {phase}; result is partial")
+            }
+            Degradation::CostBudgetExhausted { spent, budget } => write!(
+                f,
+                "cost budget exhausted ({spent:.1} of {budget:.1} units); result is partial"
+            ),
+        }
+    }
+}

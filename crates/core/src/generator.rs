@@ -10,10 +10,13 @@
 //! back (its wasted generation cost still counts, like the paper's
 //! rejected Case-II trial generations).
 
-use crate::group::GroupedCircuit;
+use crate::error::{CompileError, Degradation};
+use crate::group::{GroupKind, GroupedCircuit};
 use crate::table::PulseTable;
+use paqoc_circuit::Instruction;
 use paqoc_device::{AnalyticModel, Device, PulseSource};
 use paqoc_telemetry::counter;
+use std::time::Instant;
 
 /// Knobs of the customized-gates generator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -60,6 +63,55 @@ pub struct GeneratorReport {
     pub rejected_merges: usize,
     /// Iterations of the outer loop.
     pub iterations: usize,
+    /// Merges rolled back at attachment time because their pulse could
+    /// not be generated even after retries.
+    pub fallbacks: usize,
+    /// Groups that kept their analytic estimate because the real pulse
+    /// source failed on them even as singletons.
+    pub estimator_fallbacks: usize,
+}
+
+/// Wall-clock and cost budgets plus fallback policy for one generator
+/// run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GenerationLimits {
+    /// Hard wall-clock cutoff. When it passes mid-run the generator
+    /// stops merging (or attaching real pulses) and finishes with the
+    /// current valid grouping, marked partial.
+    pub deadline: Option<Instant>,
+    /// Pulse-generation cost cap in the estimator's synthetic
+    /// `cost_units`; exhaustion behaves like a deadline hit.
+    pub cost_budget_units: Option<f64>,
+    /// Failed generations retried per group at the table layer (the
+    /// source may escalate internally on top of this).
+    pub pulse_retries: usize,
+    /// When a group fails even as a singleton: `true` keeps its analytic
+    /// estimate (recorded as a degradation), `false` aborts the run with
+    /// [`CompileError::PulseSource`].
+    pub allow_estimator_fallback: bool,
+}
+
+impl Default for GenerationLimits {
+    fn default() -> Self {
+        GenerationLimits {
+            deadline: None,
+            cost_budget_units: None,
+            pulse_retries: 2,
+            allow_estimator_fallback: true,
+        }
+    }
+}
+
+/// What a fallible generator run produced.
+#[derive(Clone, Debug)]
+pub struct GenerationOutcome {
+    /// Merge/iteration accounting.
+    pub report: GeneratorReport,
+    /// Everything the run sacrificed to finish (rollbacks, fallbacks,
+    /// budget hits), in the order it happened.
+    pub degradations: Vec<Degradation>,
+    /// `true` when a deadline or cost budget cut the run short.
+    pub partial: bool,
 }
 
 /// Runs Algorithm 1 over a grouped circuit.
@@ -67,6 +119,15 @@ pub struct GeneratorReport {
 /// On return every live group has a generated pulse (latency and
 /// fidelity set), and the circuit latency is monotonically no worse
 /// than the input grouping's.
+///
+/// Infallible wrapper over [`try_generate_customized_gates`] with
+/// default limits — estimator fallback enabled, no budgets — under
+/// which the ladder always bottoms out in a valid result.
+///
+/// # Panics
+///
+/// Panics only if the degradation ladder is unexpectedly bypassed;
+/// unreachable with [`GenerationLimits::default`].
 pub fn generate_customized_gates(
     grouped: &mut GroupedCircuit,
     device: &Device,
@@ -74,7 +135,45 @@ pub fn generate_customized_gates(
     table: &mut PulseTable,
     opts: &PaqocOptions,
 ) -> GeneratorReport {
+    match try_generate_customized_gates(
+        grouped,
+        device,
+        source,
+        table,
+        opts,
+        &GenerationLimits::default(),
+    ) {
+        Ok(outcome) => outcome.report,
+        Err(e) => panic!("generator failed with fallbacks enabled: {e}"),
+    }
+}
+
+/// Fallible [`generate_customized_gates`] with budgets and the
+/// degradation ladder (paper Algorithm 1 hardened for production).
+///
+/// The ladder, from cheapest to most drastic:
+/// 1. retry the pulse source per group (`limits.pulse_retries`, plus
+///    whatever escalation the source does internally),
+/// 2. roll a failing merged group back to decomposed per-gate pulses
+///    (rebuilding the DAG with that group split into singletons),
+/// 3. keep the analytic estimate for a group that fails even as a
+///    singleton (when `limits.allow_estimator_fallback`).
+///
+/// Budgets are checked every merge iteration and before every real
+/// pulse generation; exhaustion finishes the run with the current valid
+/// grouping marked `partial` instead of erroring. Every concession is
+/// recorded in [`GenerationOutcome::degradations`].
+pub fn try_generate_customized_gates(
+    grouped: &mut GroupedCircuit,
+    device: &Device,
+    source: &mut dyn PulseSource,
+    table: &mut PulseTable,
+    opts: &PaqocOptions,
+    limits: &GenerationLimits,
+) -> Result<GenerationOutcome, CompileError> {
     let mut report = GeneratorReport::default();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut partial = false;
     let mut estimator = AnalyticModel::new();
 
     // Seed every starting group (basis gates and APA gates) with a free
@@ -110,6 +209,24 @@ pub fn generate_customized_gates(
         std::collections::HashMap::new();
 
     for _ in 0..opts.max_iterations {
+        if let Some(deadline) = limits.deadline {
+            if Instant::now() >= deadline {
+                counter("pipeline.deadline_hits", 1);
+                degradations.push(Degradation::DeadlineHit {
+                    phase: "merge".to_string(),
+                });
+                partial = true;
+                break;
+            }
+        }
+        if let Some(budget) = limits.cost_budget_units {
+            let spent = table.stats().cost_units;
+            if spent >= budget {
+                degradations.push(Degradation::CostBudgetExhausted { spent, budget });
+                partial = true;
+                break;
+            }
+        }
         report.iterations += 1;
         counter("generator.iterations", 1);
         let span = grouped.makespan_ns();
@@ -285,17 +402,147 @@ pub fn generate_customized_gates(
 
     // Attach real generated pulses to every group still carrying an
     // estimate (fidelity-0 marker). Recurring shapes hit the table.
-    for id in grouped.group_ids() {
-        if grouped.group(id).fidelity == 0.0 {
+    //
+    // This is where the degradation ladder lives: a multi-gate group
+    // whose pulse cannot be generated (even after retries) is rolled
+    // back — the whole DAG is rebuilt with that group split into
+    // singletons, already-attached shapes re-attach through the table
+    // cache for free, and the loop restarts. The multi-gate group count
+    // strictly decreases per rollback, so the loop terminates.
+    let mut budget_noted = false;
+    let mut deadline_noted = false;
+    'attach: loop {
+        let mut rollback: Option<usize> = None;
+        for id in grouped.group_ids() {
+            if grouped.group(id).fidelity != 0.0 {
+                continue;
+            }
+            let out_of_time = limits
+                .deadline
+                .is_some_and(|deadline| Instant::now() >= deadline);
+            let out_of_budget = limits
+                .cost_budget_units
+                .is_some_and(|budget| table.stats().cost_units >= budget);
+            if out_of_time || out_of_budget {
+                if out_of_time && !deadline_noted {
+                    deadline_noted = true;
+                    partial = true;
+                    counter("pipeline.deadline_hits", 1);
+                    degradations.push(Degradation::DeadlineHit {
+                        phase: "attach".to_string(),
+                    });
+                }
+                if out_of_budget && !budget_noted {
+                    budget_noted = true;
+                    partial = true;
+                    degradations.push(Degradation::CostBudgetExhausted {
+                        spent: table.stats().cost_units,
+                        budget: limits.cost_budget_units.unwrap_or(0.0),
+                    });
+                }
+                // Keep the (already validated) analytic estimate: the
+                // latency stays monotone, only the fidelity is a model
+                // value rather than a generated one.
+                let insts = grouped.group(id).instructions.clone();
+                let est = estimator.generate(&insts, device, opts.target_fidelity, None);
+                let g = grouped.group_mut(id);
+                g.latency_ns = est.latency_ns;
+                g.fidelity = est.fidelity;
+                continue;
+            }
             let insts = grouped.group(id).instructions.clone();
-            let pulse = table.pulse_for(&insts, device, source, opts.target_fidelity);
-            let g = grouped.group_mut(id);
-            g.latency_ns = pulse.latency_ns;
-            g.fidelity = pulse.fidelity;
+            match table.try_pulse_for(
+                &insts,
+                device,
+                source,
+                opts.target_fidelity,
+                limits.pulse_retries,
+            ) {
+                Ok(pulse) => {
+                    let g = grouped.group_mut(id);
+                    g.latency_ns = pulse.latency_ns;
+                    g.fidelity = pulse.fidelity;
+                }
+                Err(e) if grouped.group(id).instructions.len() > 1 => {
+                    // Rung 2: roll the merge back to per-gate pulses.
+                    let g = grouped.group(id);
+                    report.fallbacks += 1;
+                    counter("generator.fallbacks", 1);
+                    degradations.push(Degradation::MergeRolledBack {
+                        gates: g.instructions.len(),
+                        qubits: g.qubits.len(),
+                        reason: e.to_string(),
+                    });
+                    rollback = Some(id);
+                    break;
+                }
+                Err(e) => {
+                    if !limits.allow_estimator_fallback {
+                        return Err(CompileError::PulseSource {
+                            source: e,
+                            gates: insts.len(),
+                        });
+                    }
+                    // Rung 3: a singleton failed — keep the analytic
+                    // estimate and record the concession.
+                    report.estimator_fallbacks += 1;
+                    counter("generator.fallbacks", 1);
+                    degradations.push(Degradation::EstimatorFallback {
+                        gates: insts.len(),
+                        reason: e.to_string(),
+                    });
+                    let est = estimator.generate(&insts, device, opts.target_fidelity, None);
+                    let g = grouped.group_mut(id);
+                    g.latency_ns = est.latency_ns;
+                    g.fidelity = est.fidelity;
+                }
+            }
+        }
+        match rollback {
+            None => break 'attach,
+            Some(id) => {
+                *grouped = rebuild_with_group_split(grouped, id);
+                // Re-seed the markers: every group re-attaches on the
+                // next sweep (cached shapes are free table hits).
+                for gid in grouped.group_ids() {
+                    let insts = grouped.group(gid).instructions.clone();
+                    let est = estimator
+                        .generate(&insts, device, opts.target_fidelity, None)
+                        .latency_ns;
+                    let g = grouped.group_mut(gid);
+                    g.latency_ns = est;
+                    g.fidelity = 0.0;
+                }
+            }
         }
     }
 
-    report
+    Ok(GenerationOutcome {
+        report,
+        degradations,
+        partial,
+    })
+}
+
+/// Rebuilds the grouped circuit with group `split_id` dissolved into
+/// singletons and every other multi-gate group preserved (instructions
+/// are reassembled in original circuit order from the groups' stored
+/// indices; the live groups always partition the full circuit).
+fn rebuild_with_group_split(grouped: &GroupedCircuit, split_id: usize) -> GroupedCircuit {
+    let mut indexed: Vec<(usize, Instruction)> = Vec::new();
+    let mut partition: Vec<(Vec<usize>, GroupKind)> = Vec::new();
+    for id in grouped.group_ids() {
+        let g = grouped.group(id);
+        for (&i, inst) in g.indices.iter().zip(&g.instructions) {
+            indexed.push((i, inst.clone()));
+        }
+        if id != split_id && g.instructions.len() > 1 {
+            partition.push((g.indices.clone(), g.kind));
+        }
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    let instructions: Vec<Instruction> = indexed.into_iter().map(|(_, inst)| inst).collect();
+    GroupedCircuit::new(&instructions, grouped.num_qubits(), &partition)
 }
 
 /// Observation-1 preprocessing (the paper's Fig. 8 step): coalesce

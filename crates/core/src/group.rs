@@ -26,6 +26,11 @@ pub enum GroupKind {
 pub struct Group {
     /// Instructions in original circuit order.
     pub instructions: Vec<Instruction>,
+    /// Original circuit indices of `instructions`, aligned entry by
+    /// entry. Kept so a failed group can be rolled back: the generator
+    /// rebuilds the grouped circuit from these indices with the failed
+    /// merge split into singletons.
+    pub indices: Vec<usize>,
     /// Union of qubits touched.
     pub qubits: BTreeSet<usize>,
     /// Pulse latency in nanoseconds (updated as pulses are generated).
@@ -42,6 +47,7 @@ pub struct GroupedCircuit {
     groups: Vec<Option<Group>>,
     preds: Vec<BTreeSet<usize>>,
     succs: Vec<BTreeSet<usize>>,
+    num_qubits: usize,
 }
 
 impl GroupedCircuit {
@@ -79,6 +85,7 @@ impl GroupedCircuit {
             }
             groups.push(Some(Group {
                 instructions: insts,
+                indices: sorted,
                 qubits,
                 latency_ns: 0.0,
                 fidelity: 1.0,
@@ -91,6 +98,7 @@ impl GroupedCircuit {
                 owner[i] = Some(gid);
                 groups.push(Some(Group {
                     instructions: vec![inst.clone()],
+                    indices: vec![i],
                     qubits: inst.qubits().iter().copied().collect(),
                     latency_ns: 0.0,
                     fidelity: 1.0,
@@ -119,7 +127,13 @@ impl GroupedCircuit {
             groups,
             preds,
             succs,
+            num_qubits,
         }
+    }
+
+    /// Number of qubits of the underlying circuit.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
     }
 
     /// Live group ids in ascending order.
@@ -139,22 +153,38 @@ impl GroupedCircuit {
         self.len() == 0
     }
 
+    /// Immutable access to a group, or `None` if `id` is dead or out of
+    /// range.
+    pub fn try_group(&self, id: usize) -> Option<&Group> {
+        self.groups.get(id).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to a group, or `None` if `id` is dead or out of
+    /// range.
+    pub fn try_group_mut(&mut self, id: usize) -> Option<&mut Group> {
+        self.groups.get_mut(id).and_then(Option::as_mut)
+    }
+
     /// Immutable access to a live group.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is dead or out of range.
+    /// Panics if `id` is dead or out of range. Callers holding ids from
+    /// [`GroupedCircuit::group_ids`] satisfy the invariant by
+    /// construction; use [`GroupedCircuit::try_group`] otherwise.
     pub fn group(&self, id: usize) -> &Group {
-        self.groups[id].as_ref().expect("group is live")
+        self.try_group(id).expect("group is live")
     }
 
     /// Mutable access to a live group.
     ///
     /// # Panics
     ///
-    /// Panics if `id` is dead or out of range.
+    /// Panics if `id` is dead or out of range. Callers holding ids from
+    /// [`GroupedCircuit::group_ids`] satisfy the invariant by
+    /// construction; use [`GroupedCircuit::try_group_mut`] otherwise.
     pub fn group_mut(&mut self, id: usize) -> &mut Group {
-        self.groups[id].as_mut().expect("group is live")
+        self.try_group_mut(id).expect("group is live")
     }
 
     /// Predecessors of a live group.
@@ -243,12 +273,15 @@ impl GroupedCircuit {
 
         let mut instructions = ga.instructions;
         instructions.extend(gb.instructions);
+        let mut indices = ga.indices;
+        indices.extend(gb.indices);
         let mut qubits = ga.qubits;
         qubits.extend(gb.qubits.iter().copied());
 
         let new_id = self.groups.len();
         self.groups.push(Some(Group {
             instructions,
+            indices,
             qubits,
             latency_ns: 0.0,
             fidelity: 1.0,

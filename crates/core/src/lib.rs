@@ -25,13 +25,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod error;
 mod generator;
 mod group;
 mod pipeline;
 mod table;
 
-pub use generator::{generate_customized_gates, GeneratorReport, PaqocOptions};
+pub use error::{CompileError, Degradation};
+pub use generator::{
+    generate_customized_gates, try_generate_customized_gates, GenerationLimits, GenerationOutcome,
+    GeneratorReport, PaqocOptions,
+};
 pub use group::{Group, GroupKind, GroupedCircuit};
-pub use pipeline::{compile, partition_is_acyclic, CompilationResult, PipelineOptions};
+pub use pipeline::{
+    compile, partition_is_acyclic, try_compile, CompilationResult, PipelineOptions,
+};
 pub use table::{group_key, CompileStats, PulseTable};

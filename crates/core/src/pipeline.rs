@@ -4,17 +4,20 @@
 //! device → frequent-subcircuit mining → APA-basis substitution →
 //! criticality-aware customized-gate generation → pulses.
 
-use crate::generator::{generate_customized_gates, GeneratorReport, PaqocOptions};
+use crate::error::{CompileError, Degradation};
+use crate::generator::{
+    try_generate_customized_gates, GenerationLimits, GeneratorReport, PaqocOptions,
+};
 use crate::group::{GroupKind, GroupedCircuit};
 use crate::table::{CompileStats, PulseTable};
 use paqoc_circuit::{decompose, Basis, Circuit, Instruction};
 use paqoc_device::{Device, PulseSource};
-use paqoc_mapping::{sabre_map, SabreOptions};
+use paqoc_mapping::{try_sabre_map, SabreOptions};
 use paqoc_mining::{
     mine_frequent_subcircuits, select_apa_basis, ApaBudget, ApaCover, MinerOptions,
 };
 use paqoc_telemetry::{counter, span};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -36,6 +39,25 @@ pub struct PipelineOptions {
     /// collection still turns on if the `PAQOC_TRACE` environment
     /// variable is set (see [`paqoc_telemetry`]).
     pub trace: bool,
+    /// Wall-clock budget for the whole compilation, measured from entry.
+    /// When it expires mid-run the pipeline finishes with the current
+    /// valid grouping marked [`CompilationResult::partial`]; a zero
+    /// deadline fails fast with [`CompileError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
+    /// Pulse-generation cost budget in synthetic `cost_units`;
+    /// exhaustion behaves like a deadline hit (partial result, never an
+    /// error).
+    pub cost_budget_units: Option<f64>,
+    /// Hard ESP floor: a finished compilation below it fails with
+    /// [`CompileError::EspUnsatisfiable`].
+    pub min_esp: Option<f64>,
+    /// Failed pulse generations retried per group (see
+    /// [`GenerationLimits::pulse_retries`]).
+    pub pulse_retries: usize,
+    /// Whether a group that fails even as a singleton may keep its
+    /// analytic estimate (see
+    /// [`GenerationLimits::allow_estimator_fallback`]).
+    pub allow_estimator_fallback: bool,
 }
 
 impl Default for PipelineOptions {
@@ -48,6 +70,11 @@ impl Default for PipelineOptions {
             skip_mapping: false,
             enable_generator: true,
             trace: false,
+            deadline: None,
+            cost_budget_units: None,
+            min_esp: None,
+            pulse_retries: 2,
+            allow_estimator_fallback: true,
         }
     }
 }
@@ -99,6 +126,12 @@ pub struct CompilationResult {
     pub apa: ApaCover,
     /// Wall-clock compilation time in seconds.
     pub wall_seconds: f64,
+    /// `true` when a deadline or cost budget cut pulse work short; the
+    /// result is still valid (monotone latency) but some groups carry
+    /// analytic estimates instead of generated pulses.
+    pub partial: bool,
+    /// Everything the compilation sacrificed to succeed, in order.
+    pub degradations: Vec<Degradation>,
 }
 
 impl CompilationResult {
@@ -127,21 +160,82 @@ impl CompilationResult {
 
 /// Compiles a logical circuit to pulses with PAQOC.
 ///
+/// Thin wrapper over [`try_compile`], kept for callers that treat
+/// compilation failure as a programming error.
+///
 /// # Panics
 ///
-/// Panics if the circuit needs more qubits than the device offers when
-/// mapping is enabled.
+/// Panics on any [`CompileError`] — most commonly a circuit needing
+/// more qubits than the device offers, or a malformed input circuit.
 pub fn compile(
     logical: &Circuit,
     device: &Device,
     source: &mut dyn PulseSource,
     opts: &PipelineOptions,
 ) -> CompilationResult {
+    match try_compile(logical, device, source, opts) {
+        Ok(result) => result,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Compiles a logical circuit to pulses with PAQOC, fallibly.
+///
+/// This is the primary entry point. The contract under fault: the
+/// pipeline *degrades* — pulse-source failures are retried, then rolled
+/// back to decomposed per-gate pulses, then (by default) absorbed as
+/// analytic estimates, all recorded in
+/// [`CompilationResult::degradations`]; deadline or cost-budget
+/// exhaustion finishes with the current valid grouping marked
+/// [`CompilationResult::partial`]. A typed [`CompileError`] is returned
+/// only when no result is possible: unmappable or malformed input, a
+/// zero deadline, pulse-source failure with fallback disabled, or an
+/// unsatisfied `min_esp` floor.
+pub fn try_compile(
+    logical: &Circuit,
+    device: &Device,
+    source: &mut dyn PulseSource,
+    opts: &PipelineOptions,
+) -> Result<CompilationResult, CompileError> {
     let start = Instant::now();
     if opts.trace {
         paqoc_telemetry::set_enabled(true);
     }
     let _compile_span = span("compile");
+
+    if let Some(deadline) = opts.deadline {
+        if deadline.is_zero() {
+            counter("pipeline.deadline_hits", 1);
+            return Err(CompileError::DeadlineExceeded { deadline });
+        }
+    }
+    if logical.num_qubits() == 0 {
+        return Err(CompileError::MalformedCircuit(
+            "circuit has zero qubits".to_string(),
+        ));
+    }
+    // `Circuit::push` enforces this today, but inputs may come from
+    // deserialization paths that bypass it — reject rather than panic
+    // deep inside the mapper.
+    for inst in logical.iter() {
+        if let Some(&q) = inst.qubits().iter().find(|&&q| q >= logical.num_qubits()) {
+            return Err(CompileError::MalformedCircuit(format!(
+                "gate {} addresses qubit {q} but the circuit has {} qubits",
+                inst.gate(),
+                logical.num_qubits()
+            )));
+        }
+    }
+    if logical.num_qubits() > device.topology().num_qubits() {
+        // Checked up front so even `skip_mapping` compilations reject
+        // circuits wider than the device.
+        return Err(CompileError::Mapping(
+            paqoc_mapping::MapError::CircuitTooWide {
+                needed: logical.num_qubits(),
+                available: device.topology().num_qubits(),
+            },
+        ));
+    }
 
     // 1. Lower to the universal basis and map onto the device. The
     //    Extended basis keeps named single-qubit gates whole (H stays
@@ -154,7 +248,7 @@ pub fn compile(
         lowered
     } else {
         let _s = span("map");
-        let mapped = sabre_map(&lowered, device.topology(), &opts.sabre);
+        let mapped = try_sabre_map(&lowered, device.topology(), &opts.sabre)?;
         // Routing inserts SWAP gates; lower them to CX chains — these are
         // exactly the recurring patterns the miner should see (Table III).
         decompose(&mapped.circuit, Basis::Extended)
@@ -241,23 +335,41 @@ pub fn compile(
             ..opts.generator
         }
     };
-    let report = {
+    let limits = GenerationLimits {
+        deadline: opts.deadline.map(|d| start + d),
+        cost_budget_units: opts.cost_budget_units,
+        pulse_retries: opts.pulse_retries,
+        allow_estimator_fallback: opts.allow_estimator_fallback,
+    };
+    let outcome = {
         let _s = span("generate");
-        generate_customized_gates(&mut grouped, device, source, &mut table, &gen_opts)
+        try_generate_customized_gates(&mut grouped, device, source, &mut table, &gen_opts, &limits)?
     };
 
+    let esp = grouped.esp();
+    if let Some(required) = opts.min_esp {
+        if esp < required {
+            return Err(CompileError::EspUnsatisfiable {
+                achieved: esp,
+                required,
+            });
+        }
+    }
+
     let latency_ns = grouped.makespan_ns();
-    CompilationResult {
+    Ok(CompilationResult {
         physical,
         latency_ns,
         latency_dt: device.spec().ns_to_dt(latency_ns),
-        esp: grouped.esp(),
+        esp,
         stats: table.stats(),
-        report,
+        report: outcome.report,
         apa,
         grouped,
         wall_seconds: start.elapsed().as_secs_f64(),
-    }
+        partial: outcome.partial,
+        degradations: outcome.degradations,
+    })
 }
 
 /// `true` when contracting each set of the partition (remaining
@@ -269,15 +381,14 @@ pub fn partition_is_acyclic(
 ) -> bool {
     let n = instructions.len();
     let mut owner: Vec<usize> = (0..n).collect();
-    let mut next_group = n; // singleton ids = instruction index
-    for (set, _) in partition {
+    // Singleton ids = instruction index; merged groups start at n.
+    for (next_group, (set, _)) in (n..).zip(partition.iter()) {
         for &i in set {
             if owner[i] != i {
                 return false; // overlap: instruction claimed twice
             }
             owner[i] = next_group;
         }
-        next_group += 1;
     }
     // Quotient edges.
     let mut edges: Vec<(usize, usize)> = Vec::new();
@@ -316,10 +427,13 @@ pub fn partition_is_acyclic(
         seen += 1;
         if let Some(ss) = succs.get(&v) {
             for &s in ss {
-                let d = indeg.get_mut(&s).expect("indegree tracked");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push(s);
+                // Every successor edge incremented `indeg[s]` above, so
+                // the entry exists; a defensive miss is simply skipped.
+                if let Some(d) = indeg.get_mut(&s) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(s);
+                    }
                 }
             }
         }

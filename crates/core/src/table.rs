@@ -7,7 +7,7 @@
 //! enabled once the table has seen similar work.
 
 use paqoc_circuit::{combined_unitary, Circuit, Instruction};
-use paqoc_device::{Device, PulseEstimate, PulseSource};
+use paqoc_device::{Device, PulseEstimate, PulseGenError, PulseSource};
 use paqoc_math::{phase_aligned_distance, Matrix};
 use paqoc_mining::{canonical_code, CircuitGraph};
 use std::collections::{BTreeSet, HashMap};
@@ -21,6 +21,8 @@ pub struct CompileStats {
     pub cache_hits: usize,
     /// Total synthetic compile cost of the misses.
     pub cost_units: f64,
+    /// Failed generation attempts that were retried.
+    pub retries: usize,
 }
 
 impl CompileStats {
@@ -29,6 +31,7 @@ impl CompileStats {
         self.pulses_generated += other.pulses_generated;
         self.cache_hits += other.cache_hits;
         self.cost_units += other.cost_units;
+        self.retries += other.retries;
     }
 }
 
@@ -77,11 +80,11 @@ impl PulseTable {
 
     /// Looks up or generates the pulse for a group.
     ///
-    /// On a hit the stored estimate is returned at zero marginal cost;
-    /// on a miss the most similar stored pulse (by unitary distance)
-    /// warm-starts the generation, so near-duplicates — the common case
-    /// after customized-gate merging — converge almost for free, exactly
-    /// the paper's pulse-database behaviour (Section V-B).
+    /// Infallible wrapper around [`PulseTable::try_pulse_for`] (single
+    /// attempt): on generation failure it reports a zero-fidelity
+    /// estimate at the source's typical latency so the failure stays
+    /// visible, but — unlike the historical behaviour — the sentinel is
+    /// **never cached**, so a later retry can still succeed.
     pub fn pulse_for(
         &mut self,
         group: &[Instruction],
@@ -89,13 +92,48 @@ impl PulseTable {
         source: &mut dyn PulseSource,
         target_fidelity: f64,
     ) -> PulseEstimate {
+        match self.try_pulse_for(group, device, source, target_fidelity, 0) {
+            Ok(estimate) => estimate,
+            Err(_) => {
+                let latency_ns = source.typical_latency_ns(group_arity(group), device);
+                PulseEstimate {
+                    latency_ns,
+                    latency_dt: device.spec().ns_to_dt(latency_ns),
+                    fidelity: 0.0,
+                    cost_units: 0.0,
+                }
+            }
+        }
+    }
+
+    /// Looks up or generates the pulse for a group, retrying failures.
+    ///
+    /// On a hit the stored estimate is returned at zero marginal cost;
+    /// on a miss the most similar stored pulse (by unitary distance)
+    /// warm-starts the generation, so near-duplicates — the common case
+    /// after customized-gate merging — converge almost for free, exactly
+    /// the paper's pulse-database behaviour (Section V-B).
+    ///
+    /// A failed generation is retried up to `max_retries` times (each
+    /// retry re-invokes the source, which re-rolls its own randomness
+    /// and escalation); only *successful* estimates enter the table, so
+    /// the historical `fidelity: 0.0` convergence-failure sentinel can
+    /// never be cached and replayed as a hit.
+    pub fn try_pulse_for(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        source: &mut dyn PulseSource,
+        target_fidelity: f64,
+        max_retries: usize,
+    ) -> Result<PulseEstimate, PulseGenError> {
         let key = group_key(group);
         if let Some(&hit) = self.entries.get(&key) {
             self.stats.cache_hits += 1;
             if paqoc_telemetry::enabled() {
                 paqoc_telemetry::counter(&format!("table.cache_hit.q{}", group_arity(group)), 1);
             }
-            return hit;
+            return Ok(hit);
         }
         if paqoc_telemetry::enabled() {
             paqoc_telemetry::counter(&format!("table.cache_miss.q{}", group_arity(group)), 1);
@@ -120,11 +158,26 @@ impl PulseTable {
         } else {
             None
         };
-        let estimate = source.generate(group, device, target_fidelity, warm);
-        self.stats.pulses_generated += 1;
-        self.stats.cost_units += estimate.cost_units;
-        self.entries.insert(key, estimate);
-        estimate
+        let mut last_err = None;
+        for attempt in 0..=max_retries {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                paqoc_telemetry::counter("grape.retries", 1);
+            }
+            match source.try_generate(group, device, target_fidelity, warm) {
+                Ok(estimate) => {
+                    self.stats.pulses_generated += 1;
+                    self.stats.cost_units += estimate.cost_units;
+                    self.entries.insert(key, estimate);
+                    return Ok(estimate);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(PulseGenError::Convergence {
+            achieved: 0.0,
+            target: target_fidelity,
+        }))
     }
 
     /// Number of distinct pulses stored.
@@ -213,14 +266,17 @@ mod tests {
             pulses_generated: 1,
             cache_hits: 2,
             cost_units: 3.0,
+            retries: 1,
         };
         a.absorb(CompileStats {
             pulses_generated: 4,
             cache_hits: 5,
             cost_units: 6.0,
+            retries: 2,
         });
         assert_eq!(a.pulses_generated, 5);
         assert_eq!(a.cache_hits, 7);
         assert!((a.cost_units - 9.0).abs() < 1e-12);
+        assert_eq!(a.retries, 3);
     }
 }

@@ -38,6 +38,104 @@ pub struct PulseEstimate {
     pub cost_units: f64,
 }
 
+impl PulseEstimate {
+    /// `true` when every field is finite and within its physical range
+    /// (latency and cost non-negative, fidelity in `[0, 1 + ε]`).
+    pub fn is_well_formed(&self) -> bool {
+        self.latency_ns.is_finite()
+            && self.latency_ns >= 0.0
+            && self.cost_units.is_finite()
+            && self.cost_units >= 0.0
+            && self.fidelity.is_finite()
+            && (0.0..=1.0 + 1e-9).contains(&self.fidelity)
+    }
+}
+
+/// Why a pulse source could not produce a usable estimate.
+///
+/// Convergence failures are the common case at scale — GRAPE routinely
+/// fails on hard targets from a cold start — and are retriable; invalid
+/// estimates (NaN/Inf/negative fields) indicate a misbehaving source and
+/// are rejected at the [`PulseSource`] boundary so they can never corrupt
+/// the latency estimator or the pulse table.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PulseGenError {
+    /// The optimizer could not reach the fidelity target.
+    Convergence {
+        /// Best fidelity reached (0 when nothing usable was produced).
+        achieved: f64,
+        /// The fidelity that was asked for.
+        target: f64,
+    },
+    /// The source returned a non-finite or out-of-range estimate.
+    InvalidEstimate {
+        /// Which source produced the estimate.
+        source: String,
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PulseGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PulseGenError::Convergence { achieved, target } => write!(
+                f,
+                "pulse optimization failed to converge: reached fidelity {achieved:.6} \
+                 of target {target:.6}"
+            ),
+            PulseGenError::InvalidEstimate { source, detail } => {
+                write!(
+                    f,
+                    "pulse source '{source}' returned an invalid estimate: {detail}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PulseGenError {}
+
+/// Validates an estimate at the [`PulseSource`] boundary.
+///
+/// Rejects non-finite or negative latency/cost and non-finite fidelity
+/// (recording a `source.invalid_estimates` telemetry counter — the guard
+/// that keeps adversarial sources from corrupting the latency
+/// estimator); clamps a fidelity marginally above 1 back into range; and
+/// maps a zero-or-negative fidelity to [`PulseGenError::Convergence`],
+/// the retriable signal.
+pub fn validate_estimate(
+    est: PulseEstimate,
+    target_fidelity: f64,
+    source_name: &str,
+) -> Result<PulseEstimate, PulseGenError> {
+    if !est.latency_ns.is_finite()
+        || est.latency_ns < 0.0
+        || !est.cost_units.is_finite()
+        || est.cost_units < 0.0
+        || !est.fidelity.is_finite()
+        || est.fidelity > 1.0 + 1e-6
+    {
+        paqoc_telemetry::counter("source.invalid_estimates", 1);
+        return Err(PulseGenError::InvalidEstimate {
+            source: source_name.to_string(),
+            detail: format!(
+                "latency_ns={}, fidelity={}, cost_units={}",
+                est.latency_ns, est.fidelity, est.cost_units
+            ),
+        });
+    }
+    if est.fidelity <= 0.0 {
+        return Err(PulseGenError::Convergence {
+            achieved: est.fidelity.max(0.0),
+            target: target_fidelity,
+        });
+    }
+    let mut est = est;
+    est.fidelity = est.fidelity.min(1.0);
+    Ok(est)
+}
+
 /// A generator of control pulses for gate groups.
 ///
 /// Implementations must be deterministic for a fixed input so that the
@@ -57,6 +155,25 @@ pub trait PulseSource {
         target_fidelity: f64,
         warm_start: Option<f64>,
     ) -> PulseEstimate;
+
+    /// Fallible pulse generation: like [`PulseSource::generate`], but
+    /// surfaces failure as a typed [`PulseGenError`] instead of a
+    /// sentinel estimate, and guarantees the returned estimate is
+    /// well-formed (finite, in-range — see [`validate_estimate`]).
+    ///
+    /// The default implementation wraps [`PulseSource::generate`] and
+    /// validates its output; sources with a real failure mode (the GRAPE
+    /// optimizer) override it to add retry ladders before giving up.
+    fn try_generate(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        target_fidelity: f64,
+        warm_start: Option<f64>,
+    ) -> Result<PulseEstimate, PulseGenError> {
+        let est = self.generate(group, device, target_fidelity, warm_start);
+        validate_estimate(est, target_fidelity, self.name())
+    }
 
     /// A prior estimate of the latency of a typical `num_qubits`-qubit
     /// customized gate, used by the paper's Observation-2 shortcut when
@@ -228,12 +345,18 @@ impl PulseSource for AnalyticModel {
         let iters = 250.0 * iter_scale * (0.8 + 0.4 * j);
         let cost_units = rounds * iters * steps * d as f64 / 1.0e5;
 
-        PulseEstimate {
+        let est = PulseEstimate {
             latency_ns,
             latency_dt,
             fidelity,
             cost_units,
-        }
+        };
+        // The analytic model is this workspace's ground truth: producing
+        // a NaN/negative estimate here is an internal bug, not an
+        // adversarial input, so it is a debug assertion rather than a
+        // recoverable error.
+        debug_assert!(est.is_well_formed(), "analytic model produced {est:?}");
+        est
     }
 
     fn typical_latency_ns(&self, num_qubits: usize, device: &Device) -> f64 {
@@ -445,7 +568,10 @@ mod tests {
         ];
         let merged = gen(&seq);
         let single = gen(&[inst(GateKind::Cx, &[0, 1])]);
-        let separate: f64 = seq.iter().map(|i| gen(&[i.clone()]).latency_ns).sum();
+        let separate: f64 = seq
+            .iter()
+            .map(|i| gen(std::slice::from_ref(i)).latency_ns)
+            .sum();
         assert!(merged.latency_ns > single.latency_ns);
         assert!(merged.latency_ns < separate);
     }

@@ -23,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod faults;
 mod hamiltonian;
 mod latency;
 mod spec;
 mod topology;
 
+pub use faults::{FaultConfig, FaultCounts, FaultySource};
 pub use hamiltonian::{transmon_xy_controls, ControlChannel, ControlSet, Device};
-pub use latency::{AnalyticModel, PulseEstimate, PulseSource};
+pub use latency::{validate_estimate, AnalyticModel, PulseEstimate, PulseGenError, PulseSource};
 pub use spec::HardwareSpec;
 pub use topology::Topology;

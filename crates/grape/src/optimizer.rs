@@ -99,36 +99,38 @@ pub fn optimize(
         "target dimension must match the control system"
     );
     let num_channels = controls.channels.len();
-    let mut best: Option<GrapeResult> = None;
     let mut total_iters = 0usize;
-
-    for restart in 0..opts.restarts.max(1) {
+    let run_restart = |restart: usize, total_iters: &mut usize| -> GrapeResult {
         paqoc_telemetry::counter("grape.restarts", 1);
         let mut rng = Rng::seed_from_u64(opts.seed.wrapping_add(restart as u64));
         let mut theta = initial_theta(steps, num_channels, warm_start, controls, &mut rng);
         let (fid, iters) = adam_loop(target, controls, &mut theta, opts);
-        total_iters += iters;
+        *total_iters += iters;
         paqoc_telemetry::counter("grape.iterations", iters as u64);
-        let pulse = theta_to_pulse(&theta, controls, opts.step_ns);
-        let result = GrapeResult {
-            pulse,
+        GrapeResult {
+            pulse: theta_to_pulse(&theta, controls, opts.step_ns),
             fidelity: fid,
-            iterations: total_iters,
-        };
-        let better = best.as_ref().map_or(true, |b| result.fidelity > b.fidelity);
-        if better {
-            best = Some(result);
+            iterations: *total_iters,
         }
-        if best.as_ref().expect("set above").fidelity >= opts.target_fidelity {
+    };
+
+    // The first restart always runs, so `best` is never absent: no
+    // Option on the hot path.
+    let mut best = run_restart(0, &mut total_iters);
+    for restart in 1..opts.restarts.max(1) {
+        if best.fidelity >= opts.target_fidelity {
             break;
         }
+        let result = run_restart(restart, &mut total_iters);
+        if result.fidelity > best.fidelity {
+            best = result;
+        }
     }
-    let mut out = best.expect("at least one restart runs");
-    out.iterations = total_iters;
-    if out.fidelity < opts.target_fidelity {
+    best.iterations = total_iters;
+    if best.fidelity < opts.target_fidelity {
         paqoc_telemetry::counter("grape.convergence_failures", 1);
     }
-    out
+    best
 }
 
 /// Squash parameter → bounded amplitude.
@@ -154,12 +156,12 @@ fn initial_theta(
     let mut theta = vec![vec![0.0f64; num_channels]; steps];
     match warm_start {
         Some(p) if p.amplitudes.first().map(Vec::len) == Some(num_channels) => {
-            for j in 0..steps {
+            for (j, row) in theta.iter_mut().enumerate() {
                 let src = &p.amplitudes[j.min(p.amplitudes.len() - 1)];
                 for k in 0..num_channels {
                     let a_max = controls.channels[k].max_amp;
                     let ratio = (src[k] / a_max).clamp(-0.999, 0.999);
-                    theta[j][k] = ratio.atanh();
+                    row[k] = ratio.atanh();
                 }
             }
         }

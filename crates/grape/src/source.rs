@@ -10,7 +10,7 @@
 use crate::duration::minimize_duration;
 use crate::optimizer::{GrapeOptions, Pulse};
 use paqoc_circuit::{combined_unitary, Instruction};
-use paqoc_device::{AnalyticModel, Device, PulseEstimate, PulseSource};
+use paqoc_device::{AnalyticModel, Device, PulseEstimate, PulseGenError, PulseSource};
 use paqoc_math::{phase_aligned_distance, Matrix};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
@@ -38,13 +38,21 @@ struct CacheEntry {
 /// let pulse = src.generate(&[x], &dev, 0.99, None);
 /// assert!(pulse.fidelity >= 0.99);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GrapeSource {
     opts: GrapeOptions,
     prior: AnalyticModel,
     cache: HashMap<String, CacheEntry>,
     /// Unitary distance below which a cached pulse seeds the optimizer.
     similarity_threshold: f64,
+    /// Extra escalated attempts after a failed duration search.
+    max_retries: usize,
+}
+
+impl Default for GrapeSource {
+    fn default() -> Self {
+        GrapeSource::new(GrapeOptions::default())
+    }
 }
 
 impl GrapeSource {
@@ -55,7 +63,17 @@ impl GrapeSource {
             prior: AnalyticModel::new(),
             cache: HashMap::new(),
             similarity_threshold: 0.6,
+            max_retries: 2,
         }
+    }
+
+    /// Sets how many escalated retries follow a failed duration search
+    /// before [`PulseSource::try_generate`] gives up (default 2). Each
+    /// retry adds a restart, grows the iteration budget by 50% (capped
+    /// at 4× the base), and perturbs the seed.
+    pub fn with_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
     }
 
     /// A configuration tuned for test/CI speed: coarser steps, fewer
@@ -123,6 +141,12 @@ fn signature(group: &[Instruction], qubits: &[usize]) -> String {
 }
 
 impl PulseSource for GrapeSource {
+    /// Legacy infallible entry: runs the same degradation ladder as
+    /// [`PulseSource::try_generate`] and, only if every escalated
+    /// attempt fails, reports the step-cap sentinel (`fidelity: 0.0`,
+    /// latency at the cap) so direct callers can see and reject the
+    /// candidate. Pipeline code should prefer `try_generate`, which
+    /// surfaces the failure as a typed error instead.
     fn generate(
         &mut self,
         group: &[Instruction],
@@ -130,6 +154,34 @@ impl PulseSource for GrapeSource {
         target_fidelity: f64,
         warm_start: Option<f64>,
     ) -> PulseEstimate {
+        match self.try_generate(group, device, target_fidelity, warm_start) {
+            Ok(est) => est,
+            Err(_) => {
+                let qubits = group_qubits(group);
+                let d = device.controls_for(&qubits).dim() as f64;
+                let latency_ns = 1024.0 * self.opts.step_ns;
+                PulseEstimate {
+                    latency_ns,
+                    latency_dt: device.spec().ns_to_dt(latency_ns),
+                    fidelity: 0.0,
+                    cost_units: 1024.0 * self.opts.max_iters as f64 * d.powi(3) / 1.0e6,
+                }
+            }
+        }
+    }
+
+    /// The degradation ladder's first rung: on a failed duration search,
+    /// retry with one more restart, a 50%-larger iteration budget
+    /// (bounded at 4× the base), and a perturbed seed — GRAPE failures
+    /// are often basin-of-attraction accidents that a fresh start
+    /// escapes. Successful estimates are cached; failures never are.
+    fn try_generate(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        target_fidelity: f64,
+        warm_start: Option<f64>,
+    ) -> Result<PulseEstimate, PulseGenError> {
         let qubits = group_qubits(group);
         let key = signature(group, &qubits);
         if let Some(entry) = self.cache.get(&key) {
@@ -137,22 +189,18 @@ impl PulseSource for GrapeSource {
             paqoc_telemetry::counter("grape.cache_hits", 1);
             let mut est = entry.estimate;
             est.cost_units = 0.0;
-            return est;
+            return Ok(est);
         }
         paqoc_telemetry::counter("grape.cache_misses", 1);
 
         let target = combined_unitary(group, &qubits);
         let controls = device.controls_for(&qubits);
-        let opts = GrapeOptions {
-            target_fidelity,
-            ..self.opts
-        };
 
         let prior_ns = self
             .prior
             .generate(group, device, target_fidelity, None)
             .latency_ns;
-        let initial_steps = ((prior_ns / opts.step_ns).ceil() as usize).max(2);
+        let initial_steps = ((prior_ns / self.opts.step_ns).ceil() as usize).max(2);
 
         let seed_pulse = if warm_start.is_some() {
             self.similar_pulse(&target, controls.channels.len())
@@ -165,14 +213,28 @@ impl PulseSource for GrapeSource {
         }
 
         let d = controls.dim() as f64;
-        match minimize_duration(
-            &target,
-            &controls,
-            &opts,
-            initial_steps,
-            seed_pulse.as_ref(),
-        ) {
-            Some(search) => {
+        for attempt in 0..=self.max_retries {
+            if attempt > 0 {
+                paqoc_telemetry::counter("grape.retries", 1);
+            }
+            let escalated = (self.opts.max_iters as f64 * (1.0 + 0.5 * attempt as f64)) as usize;
+            let opts = GrapeOptions {
+                target_fidelity,
+                restarts: self.opts.restarts + attempt,
+                max_iters: escalated.min(self.opts.max_iters * 4),
+                seed: self
+                    .opts
+                    .seed
+                    .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ..self.opts
+            };
+            if let Some(search) = minimize_duration(
+                &target,
+                &controls,
+                &opts,
+                initial_steps,
+                seed_pulse.as_ref(),
+            ) {
                 let latency_ns = search.result.pulse.duration_ns();
                 let estimate = PulseEstimate {
                     latency_ns,
@@ -189,22 +251,14 @@ impl PulseSource for GrapeSource {
                         estimate,
                     },
                 );
-                estimate
+                return Ok(estimate);
             }
-            None => {
-                paqoc_telemetry::counter("grape.duration_search_failures", 1);
-                // Unreachable target within the step cap: report the cap
-                // duration with the (poor) fidelity, so callers can see
-                // and reject the candidate.
-                let latency_ns = 1024.0 * opts.step_ns;
-                PulseEstimate {
-                    latency_ns,
-                    latency_dt: device.spec().ns_to_dt(latency_ns),
-                    fidelity: 0.0,
-                    cost_units: 1024.0 * opts.max_iters as f64 * d.powi(3) / 1.0e6,
-                }
-            }
+            paqoc_telemetry::counter("grape.duration_search_failures", 1);
         }
+        Err(PulseGenError::Convergence {
+            achieved: 0.0,
+            target: target_fidelity,
+        })
     }
 
     fn typical_latency_ns(&self, num_qubits: usize, device: &Device) -> f64 {

@@ -24,4 +24,4 @@
 
 mod sabre;
 
-pub use sabre::{sabre_map, MappedCircuit, SabreOptions};
+pub use sabre::{sabre_map, try_sabre_map, MapError, MappedCircuit, SabreOptions};

@@ -54,6 +54,42 @@ pub struct MappedCircuit {
     pub swaps_inserted: usize,
 }
 
+/// Why a circuit cannot be mapped onto a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// The circuit uses more qubits than the topology offers.
+    CircuitTooWide {
+        /// Qubits the circuit needs.
+        needed: usize,
+        /// Qubits the topology has.
+        available: usize,
+    },
+    /// A gate with three or more qubits reached the mapper; such gates
+    /// must be decomposed (lowered) first.
+    UnloweredGate {
+        /// Display form of the offending gate.
+        gate: String,
+        /// Its qubit count.
+        arity: usize,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::CircuitTooWide { needed, available } => write!(
+                f,
+                "circuit needs {needed} qubits but the device has {available}"
+            ),
+            MapError::UnloweredGate { gate, arity } => {
+                write!(f, "decompose {arity}-qubit gate {gate} before mapping")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
 /// Maps and routes a logical circuit onto a topology with SABRE.
 ///
 /// Multi-qubit (>2) gates must be decomposed before mapping.
@@ -61,7 +97,8 @@ pub struct MappedCircuit {
 /// # Panics
 ///
 /// Panics if the circuit needs more qubits than the topology offers, or
-/// contains gates with three or more qubits.
+/// contains gates with three or more qubits. Use [`try_sabre_map`] to
+/// get those conditions as a typed [`MapError`] instead.
 ///
 /// # Examples
 ///
@@ -81,19 +118,33 @@ pub struct MappedCircuit {
 /// }
 /// ```
 pub fn sabre_map(circuit: &Circuit, topology: &Topology, opts: &SabreOptions) -> MappedCircuit {
-    assert!(
-        circuit.num_qubits() <= topology.num_qubits(),
-        "circuit needs {} qubits but the device has {}",
-        circuit.num_qubits(),
-        topology.num_qubits()
-    );
+    match try_sabre_map(circuit, topology, opts) {
+        Ok(mapped) => mapped,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`sabre_map`]: rejects circuits wider than the topology and
+/// unlowered (≥3-qubit) gates with a typed [`MapError`] instead of
+/// panicking.
+pub fn try_sabre_map(
+    circuit: &Circuit,
+    topology: &Topology,
+    opts: &SabreOptions,
+) -> Result<MappedCircuit, MapError> {
+    if circuit.num_qubits() > topology.num_qubits() {
+        return Err(MapError::CircuitTooWide {
+            needed: circuit.num_qubits(),
+            available: topology.num_qubits(),
+        });
+    }
     for inst in circuit.iter() {
-        assert!(
-            inst.qubits().len() <= 2,
-            "decompose {}-qubit gate {} before mapping",
-            inst.qubits().len(),
-            inst.gate()
-        );
+        if inst.qubits().len() > 2 {
+            return Err(MapError::UnloweredGate {
+                gate: inst.gate().to_string(),
+                arity: inst.qubits().len(),
+            });
+        }
     }
 
     let dist = topology.distance_matrix();
@@ -114,7 +165,7 @@ pub fn sabre_map(circuit: &Circuit, topology: &Topology, opts: &SabreOptions) ->
 
     let mapped = route(circuit, topology, &dist, layout, opts);
     paqoc_telemetry::counter("sabre.swaps_inserted", mapped.swaps_inserted as u64);
-    mapped
+    Ok(mapped)
 }
 
 fn random_layout(logical: usize, physical: usize, rng: &mut Rng) -> Vec<usize> {
@@ -251,7 +302,7 @@ fn route(
                     / extended.len() as f64
             };
             let score = decay[p].max(decay[q]) * (f_cost + opts.extended_weight * e_cost);
-            if best.map_or(true, |(_, s)| score < s) {
+            if best.is_none_or(|(_, s)| score < s) {
                 best = Some(((p, q), score));
             }
         }
@@ -412,9 +463,9 @@ mod tests {
             let mut p = paqoc_math::Matrix::zeros(dim, dim);
             for src in 0..dim {
                 let mut dst = 0usize;
-                for l in 0..n {
+                for (l, &phys) in layout.iter().enumerate().take(n) {
                     if (src >> l) & 1 == 1 {
-                        dst |= 1 << layout[l];
+                        dst |= 1 << phys;
                     }
                 }
                 p[(dst, src)] = paqoc_math::C64::ONE;

@@ -173,7 +173,7 @@ fn refine_multiple_roots(monic: &[C64], roots: &mut [C64]) {
                     break;
                 }
                 let step = val / der;
-                z = z - step;
+                z -= step;
                 if step.abs() < 1e-15 * (1.0 + z.abs()) {
                     break;
                 }

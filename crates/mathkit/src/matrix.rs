@@ -317,13 +317,13 @@ impl Matrix {
     pub fn apply(&self, state: &[C64]) -> Vec<C64> {
         assert_eq!(state.len(), self.cols, "state length must equal cols");
         let mut out = vec![C64::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
             let mut acc = C64::ZERO;
             for (a, s) in row.iter().zip(state) {
                 acc = acc.mul_add(*a, *s);
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }

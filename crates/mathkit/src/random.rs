@@ -59,7 +59,7 @@ pub fn random_unitary(n: usize, rng: &mut Rng) -> Matrix {
         };
         let inv = phase * (1.0 / norm.max(1e-300));
         for i in 0..n {
-            q[(i, j)] = q[(i, j)] * inv;
+            q[(i, j)] *= inv;
         }
         // Orthogonalize the remaining columns against column j.
         for k in (j + 1)..n {

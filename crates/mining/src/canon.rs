@@ -120,6 +120,7 @@ fn search(
         .collect();
 
     // Greedy-minimal: emit only the nodes whose token is minimal.
+    #[allow(clippy::type_complexity)]
     let tokens: Vec<(usize, (String, Vec<(usize, usize)>))> = ready
         .iter()
         .map(|&li| (li, token(graph, nodes, li, &state)))

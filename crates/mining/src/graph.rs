@@ -194,14 +194,14 @@ impl Reachability {
         for &v in nodes {
             in_set[v / 64] |= 1u64 << (v % 64);
         }
-        for w in 0..self.words {
+        for (w, &set) in in_set.iter().enumerate() {
             let mut d = 0u64;
             let mut a = 0u64;
             for &v in nodes {
                 d |= self.desc[v * self.words + w];
                 a |= self.anc[v * self.words + w];
             }
-            if d & a & !in_set[w] != 0 {
+            if d & a & !set != 0 {
                 return false;
             }
         }

@@ -23,16 +23,16 @@ impl Snapshot {
             }
             out.push_str(",\"name\":");
             write_escaped(&mut out, &s.name);
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                ",\"thread\":{},\"start_ns\":{},\"duration_ns\":{}}}\n",
+                ",\"thread\":{},\"start_ns\":{},\"duration_ns\":{}}}",
                 s.thread, s.start_ns, s.duration_ns
             );
         }
         for (name, value) in &self.counters {
             out.push_str("{\"type\":\"counter\",\"name\":");
             write_escaped(&mut out, name);
-            let _ = write!(out, ",\"value\":{value}}}\n");
+            let _ = writeln!(out, ",\"value\":{value}}}");
         }
         for (name, h) in &self.histograms {
             out.push_str("{\"type\":\"histogram\",\"name\":");
@@ -97,7 +97,7 @@ impl Snapshot {
             .iter()
             .filter(|s| {
                 s.parent
-                    .map_or(true, |p| !self.spans.iter().any(|c| c.id == p))
+                    .is_none_or(|p| !self.spans.iter().any(|c| c.id == p))
             })
             .collect();
         roots.sort_by_key(|s| (s.start_ns, s.id));

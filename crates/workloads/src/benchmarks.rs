@@ -30,6 +30,13 @@ impl std::fmt::Debug for Benchmark {
 }
 
 /// All seventeen Table-I benchmarks, in the paper's order.
+///
+/// Infallible by construction: every benchmark is built programmatically
+/// through the checked [`Circuit`] API (no QASM parsing on this path),
+/// so neither this function nor [`benchmark`] can fail on malformed
+/// input. The `every_benchmark_roundtrips_through_qasm` test pins the
+/// stronger property that each built circuit also serializes to QASM
+/// and parses back to a structurally equal circuit.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark {
@@ -475,8 +482,8 @@ fn bb84() -> Circuit {
         }
     }
     // Measurement-basis rotations for the receiver side.
-    for q in 0..8 {
-        if bases[q] == 0 {
+    for (q, &basis) in bases.iter().enumerate() {
+        if basis == 0 {
             c.h(q);
         } else {
             c.x(q);
@@ -540,6 +547,40 @@ mod tests {
                 "{}",
                 b.name
             );
+        }
+    }
+
+    #[test]
+    fn every_benchmark_roundtrips_through_qasm() {
+        // The infallibility contract of `all_benchmarks`: every embedded
+        // benchmark serializes to QASM and parses back to a structurally
+        // equal circuit, so QASM-based consumers can never hit a parse
+        // error on these workloads. Angles are compared approximately:
+        // `to_qasm` prints a finite number of digits, so exact bit
+        // equality is not attainable for irrational rotation angles.
+        for b in all_benchmarks() {
+            let c = (b.build)();
+            let text = paqoc_circuit::to_qasm(&c);
+            let parsed = match paqoc_circuit::parse_qasm(&text) {
+                Ok(parsed) => parsed,
+                Err(e) => panic!("{} failed to re-parse its own QASM: {e}", b.name),
+            };
+            assert_eq!(parsed.num_qubits(), c.num_qubits(), "{}", b.name);
+            assert_eq!(parsed.len(), c.len(), "{} gate count changed", b.name);
+            for (got, want) in parsed.instructions().iter().zip(c.instructions()) {
+                assert_eq!(got.gate(), want.gate(), "{}", b.name);
+                assert_eq!(got.qubits(), want.qubits(), "{}", b.name);
+                assert_eq!(got.params().len(), want.params().len(), "{}", b.name);
+                for (ga, wa) in got.params().iter().zip(want.params()) {
+                    assert!(
+                        (ga.value - wa.value).abs() < 1e-9,
+                        "{}: angle {} vs {}",
+                        b.name,
+                        ga.value,
+                        wa.value
+                    );
+                }
+            }
         }
     }
 

@@ -10,6 +10,9 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -2,10 +2,12 @@
 //! pulse source misbehaves — adversarial latencies that violate the
 //! observations, fidelity collapses, and pathological inputs.
 
+use std::time::Duration;
+
 use paqoc::circuit::{Circuit, Instruction};
-use paqoc::core::{compile, PipelineOptions};
-use paqoc::device::{AnalyticModel, Device, PulseEstimate, PulseSource};
-use paqoc::workloads::benchmark;
+use paqoc::core::{compile, try_compile, CompileError, Degradation, PipelineOptions};
+use paqoc::device::{AnalyticModel, Device, FaultConfig, FaultySource, PulseEstimate, PulseSource};
+use paqoc::workloads::{all_benchmarks, benchmark};
 
 /// A pulse source that *violates Observation 1*: every multi-gate group
 /// costs a large constant more than the analytic model says, so merging
@@ -156,6 +158,217 @@ fn single_qubit_only_circuit_compiles() {
     let r = compile(&c, &device, &mut source, &PipelineOptions::m_tuned());
     assert_eq!(covered_gates(&r), r.physical.len());
     assert!(r.esp > 0.99);
+}
+
+/// A source that never produces a usable pulse: every call reports a
+/// collapsed fidelity, so retries, rollback, and estimator fallback are
+/// all forced to run.
+struct AlwaysFailSource {
+    inner: AnalyticModel,
+}
+
+impl PulseSource for AlwaysFailSource {
+    fn generate(
+        &mut self,
+        group: &[Instruction],
+        device: &Device,
+        target_fidelity: f64,
+        warm_start: Option<f64>,
+    ) -> PulseEstimate {
+        let mut est = self
+            .inner
+            .generate(group, device, target_fidelity, warm_start);
+        est.fidelity = 0.0;
+        est
+    }
+
+    fn typical_latency_ns(&self, num_qubits: usize, device: &Device) -> f64 {
+        self.inner.typical_latency_ns(num_qubits, device)
+    }
+
+    fn name(&self) -> &'static str {
+        "always-fail"
+    }
+}
+
+/// Compiles with a clean analytic source and the generator disabled:
+/// the no-merge (decomposed) latency every degraded result must beat or
+/// match.
+fn decomposed_baseline_latency(c: &Circuit, device: &Device) -> u64 {
+    let mut clean = AnalyticModel::new();
+    let opts = PipelineOptions {
+        enable_generator: false,
+        ..PipelineOptions::m0()
+    };
+    compile(c, device, &mut clean, &opts).latency_dt
+}
+
+#[test]
+fn convergence_storm_degrades_every_benchmark_gracefully() {
+    // The ISSUE's headline acceptance test: a seeded 30%
+    // convergence-failure rate across all seventeen benchmarks must
+    // never panic, always return Ok, and never end up slower than the
+    // decomposed no-merge baseline (degradation rolls merges back, it
+    // does not invent latency).
+    let device = Device::grid5x5();
+    let opts = PipelineOptions {
+        trace: true,
+        ..PipelineOptions::m0()
+    };
+    let before = paqoc::telemetry::snapshot();
+    for (i, b) in all_benchmarks().iter().enumerate() {
+        let c = (b.build)();
+        let baseline = decomposed_baseline_latency(&c, &device);
+        let mut faulty = FaultySource::new(
+            AnalyticModel::new(),
+            FaultConfig::convergence_storm(0xFA17 + i as u64, 0.3),
+        );
+        let r = try_compile(&c, &device, &mut faulty, &opts)
+            .unwrap_or_else(|e| panic!("{} failed under convergence storm: {e}", b.name));
+        assert_eq!(covered_gates(&r), r.physical.len(), "{}", b.name);
+        assert!(
+            r.latency_dt <= baseline,
+            "{}: {} > {}",
+            b.name,
+            r.latency_dt,
+            baseline
+        );
+        assert!(r.esp.is_finite() && r.esp >= 0.0, "{}", b.name);
+    }
+    let after = paqoc::telemetry::snapshot();
+    let delta = |name: &str| {
+        after.counters.get(name).copied().unwrap_or(0)
+            - before.counters.get(name).copied().unwrap_or(0)
+    };
+    assert!(delta("grape.retries") > 0, "no retries recorded");
+    assert!(delta("generator.fallbacks") > 0, "no fallbacks recorded");
+}
+
+#[test]
+fn nan_storm_degrades_instead_of_poisoning_the_result() {
+    let c = (benchmark("simon").expect("exists").build)();
+    let device = Device::grid5x5();
+    let mut faulty = FaultySource::new(AnalyticModel::new(), FaultConfig::nan_storm(7, 0.3));
+    let r = try_compile(&c, &device, &mut faulty, &PipelineOptions::m0())
+        .expect("NaN injection must degrade, not fail");
+    assert_eq!(covered_gates(&r), r.physical.len());
+    assert!(r.esp.is_finite());
+    assert!(r.latency_dt > 0);
+    for id in r.grouped.group_ids() {
+        let g = r.grouped.group(id);
+        assert!(g.latency_ns.is_finite() && g.fidelity.is_finite());
+    }
+}
+
+#[test]
+fn expired_deadline_yields_a_valid_partial_result() {
+    // A deadline far shorter than full generation: the pipeline must
+    // stop merging, attach what it has, and mark the result partial —
+    // still a complete, no-worse-than-decomposed compilation.
+    let c = (benchmark("qft").expect("exists").build)();
+    let device = Device::grid5x5();
+    let baseline = decomposed_baseline_latency(&c, &device);
+    let mut source = AnalyticModel::new();
+    let opts = PipelineOptions {
+        deadline: Some(Duration::from_nanos(1)),
+        ..PipelineOptions::m0()
+    };
+    let r = try_compile(&c, &device, &mut source, &opts).expect("partial, not an error");
+    assert!(r.partial);
+    assert!(r
+        .degradations
+        .iter()
+        .any(|d| matches!(d, Degradation::DeadlineHit { .. })));
+    assert_eq!(covered_gates(&r), r.physical.len());
+    assert!(r.latency_dt > 0);
+    assert!(r.latency_dt <= baseline, "{} > {}", r.latency_dt, baseline);
+}
+
+#[test]
+fn zero_deadline_fails_fast_with_a_typed_error() {
+    let c = (benchmark("bv").expect("exists").build)();
+    let device = Device::grid5x5();
+    let mut source = AnalyticModel::new();
+    let opts = PipelineOptions {
+        deadline: Some(Duration::ZERO),
+        ..PipelineOptions::m0()
+    };
+    let err = try_compile(&c, &device, &mut source, &opts).expect_err("zero deadline");
+    assert!(
+        matches!(err, CompileError::DeadlineExceeded { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn malformed_circuits_return_typed_errors_not_panics() {
+    let device = Device::grid5x5();
+    let mut source = AnalyticModel::new();
+
+    let zero_qubits = Circuit::new(0);
+    let err = try_compile(&zero_qubits, &device, &mut source, &PipelineOptions::m0())
+        .expect_err("zero-qubit circuit");
+    assert!(matches!(err, CompileError::MalformedCircuit(_)), "{err}");
+
+    // Wider than the 25-qubit grid: a mapping error, not a panic.
+    let mut wide = Circuit::new(26);
+    for q in 0..25 {
+        wide.cx(q, q + 1);
+    }
+    let err = try_compile(&wide, &device, &mut source, &PipelineOptions::m0())
+        .expect_err("26 qubits on a 25-qubit device");
+    assert!(matches!(err, CompileError::Mapping(_)), "{err}");
+}
+
+#[test]
+fn disabled_fallback_surfaces_the_pulse_source_error() {
+    let c = (benchmark("rd32_270").expect("exists").build)();
+    let device = Device::grid5x5();
+    let mut source = AlwaysFailSource {
+        inner: AnalyticModel::new(),
+    };
+    let opts = PipelineOptions {
+        allow_estimator_fallback: false,
+        ..PipelineOptions::m0()
+    };
+    let err = try_compile(&c, &device, &mut source, &opts).expect_err("fallback disabled");
+    assert!(matches!(err, CompileError::PulseSource { .. }), "{err}");
+}
+
+#[test]
+fn always_failing_source_still_compiles_with_fallback_enabled() {
+    // Even when no pulse ever converges, the bottom rung of the ladder
+    // (estimator fallback) keeps the compilation alive.
+    let c = (benchmark("rd32_270").expect("exists").build)();
+    let device = Device::grid5x5();
+    let mut source = AlwaysFailSource {
+        inner: AnalyticModel::new(),
+    };
+    let baseline = decomposed_baseline_latency(&c, &device);
+    let r = try_compile(&c, &device, &mut source, &PipelineOptions::m0())
+        .expect("estimator fallback must keep this alive");
+    assert_eq!(covered_gates(&r), r.physical.len());
+    assert!(!r.degradations.is_empty());
+    assert!(r.latency_dt <= baseline, "{} > {}", r.latency_dt, baseline);
+}
+
+#[test]
+fn unsatisfiable_esp_floor_is_a_typed_error() {
+    let c = (benchmark("simon").expect("exists").build)();
+    let device = Device::grid5x5();
+    let mut source = AnalyticModel::new();
+    let opts = PipelineOptions {
+        min_esp: Some(2.0), // no circuit can reach ESP > 1
+        ..PipelineOptions::m0()
+    };
+    let err = try_compile(&c, &device, &mut source, &opts).expect_err("impossible floor");
+    match err {
+        CompileError::EspUnsatisfiable { achieved, required } => {
+            assert!(achieved <= 1.0);
+            assert!((required - 2.0).abs() < 1e-12);
+        }
+        other => panic!("wrong error: {other}"),
+    }
 }
 
 #[test]
