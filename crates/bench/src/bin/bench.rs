@@ -1,0 +1,234 @@
+//! The cross-PR perf-regression harness: runs the 17 embedded Table-I
+//! benchmarks through `try_compile` and writes `BENCH_pipeline.json` —
+//! per-benchmark wall time, latency, ESP, pulse-table hit rate, search
+//! iterations and degradation counts in a stable schema, so successive
+//! PRs can diff machine-readable perf trajectories instead of eyeballing
+//! stdout tables.
+//!
+//! Usage: `bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]`
+//!
+//! * `--quick`  — 3-benchmark subset (CI smoke; same schema).
+//! * `--check`  — after writing, parse the file back with the in-tree
+//!   JSON parser and assert every schema key is present (exit 1 if not).
+//! * `--config` — pipeline configuration (default `minf`, the paper's
+//!   cheapest-compile mode).
+//! * `--out`    — output path (default `BENCH_pipeline.json`).
+
+use paqoc_core::{try_compile, CompilationResult, PipelineOptions};
+use paqoc_device::{AnalyticModel, Device};
+use paqoc_telemetry::json::{self, Value};
+use paqoc_workloads::all_benchmarks;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Schema version; bump on any key change so trend tooling can gate.
+const SCHEMA_VERSION: u64 = 1;
+
+/// The `--quick` subset: the three fastest Table-I benchmarks, spanning
+/// a Toffoli network, an adder and an oracle family.
+const QUICK_SUBSET: [&str; 3] = ["mod5d2_64", "rd32_270", "bv"];
+
+/// Keys every per-benchmark object must carry (asserted by `--check`).
+const BENCHMARK_KEYS: [&str; 16] = [
+    "name",
+    "wall_seconds",
+    "latency_ns",
+    "latency_dt",
+    "esp",
+    "physical_gates",
+    "num_groups",
+    "pulse_table_hit_rate",
+    "pulses_generated",
+    "cache_hits",
+    "cost_units",
+    "search_iterations",
+    "preprocess_merges",
+    "criticality_merges",
+    "rejected_merges",
+    "degradations",
+];
+
+/// Keys the top-level object must carry (asserted by `--check`).
+const TOP_KEYS: [&str; 5] = [
+    "schema_version",
+    "config",
+    "quick",
+    "benchmarks",
+    "total_wall_seconds",
+];
+
+fn write_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn benchmark_object(name: &str, r: &CompilationResult) -> String {
+    let lookups = r.stats.cache_hits + r.stats.pulses_generated;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        r.stats.cache_hits as f64 / lookups as f64
+    };
+    let mut o = String::new();
+    o.push_str("{\"name\":");
+    o.push_str(&json::escape(name));
+    let _ = write!(o, ",\"wall_seconds\":");
+    write_num(&mut o, r.wall_seconds);
+    o.push_str(",\"latency_ns\":");
+    write_num(&mut o, r.latency_ns);
+    let _ = write!(o, ",\"latency_dt\":{},\"esp\":", r.latency_dt);
+    write_num(&mut o, r.esp);
+    let _ = write!(
+        o,
+        ",\"physical_gates\":{},\"num_groups\":{},\"pulse_table_hit_rate\":",
+        r.physical.len(),
+        r.num_groups()
+    );
+    write_num(&mut o, hit_rate);
+    let _ = write!(
+        o,
+        ",\"pulses_generated\":{},\"cache_hits\":{},\"cost_units\":",
+        r.stats.pulses_generated, r.stats.cache_hits
+    );
+    write_num(&mut o, r.stats.cost_units);
+    let _ = write!(
+        o,
+        ",\"search_iterations\":{},\"preprocess_merges\":{},\"criticality_merges\":{},\
+         \"rejected_merges\":{},\"degradations\":{},\"partial\":{}}}",
+        r.report.iterations,
+        r.report.preprocess_merges,
+        r.report.criticality_merges,
+        r.report.rejected_merges,
+        r.degradations.len(),
+        r.partial
+    );
+    o
+}
+
+fn check_schema(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| format!("BENCH_pipeline.json does not parse: {e}"))?;
+    for key in TOP_KEYS {
+        if doc.get(key).is_none() {
+            return Err(format!("missing top-level key '{key}'"));
+        }
+    }
+    let Some(Value::Arr(benches)) = doc.get("benchmarks") else {
+        return Err("'benchmarks' is not an array".to_string());
+    };
+    if benches.is_empty() {
+        return Err("'benchmarks' is empty".to_string());
+    }
+    for b in benches {
+        for key in BENCHMARK_KEYS {
+            if b.get(key).is_none() {
+                let name = b.get("name").and_then(Value::as_str).unwrap_or("?");
+                return Err(format!("benchmark '{name}' is missing key '{key}'"));
+            }
+        }
+    }
+    Ok(benches.len())
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut config = "minf".to_string();
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--config" => config = args.next().unwrap_or_default(),
+            "--out" => out_path = args.next().unwrap_or_default(),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                eprintln!("usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let opts = match config.as_str() {
+        "m0" => PipelineOptions::m0(),
+        "tuned" => PipelineOptions::m_tuned(),
+        "minf" => PipelineOptions::m_inf(),
+        other => {
+            eprintln!("unknown config '{other}' (expected m0, tuned or minf)");
+            std::process::exit(2);
+        }
+    };
+
+    let device = Device::grid5x5();
+    let started = Instant::now();
+    let mut rows: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+    for b in all_benchmarks() {
+        if quick && !QUICK_SUBSET.contains(&b.name) {
+            continue;
+        }
+        let circuit = (b.build)();
+        let mut source = AnalyticModel::new();
+        match try_compile(&circuit, &device, &mut source, &opts) {
+            Ok(result) => {
+                println!(
+                    "bench: {:<14} {:>8.3}s  {:>8} dt  esp {:.4}  hits {}/{}  iters {}",
+                    b.name,
+                    result.wall_seconds,
+                    result.latency_dt,
+                    result.esp,
+                    result.stats.cache_hits,
+                    result.stats.cache_hits + result.stats.pulses_generated,
+                    result.report.iterations
+                );
+                rows.push(benchmark_object(b.name, &result));
+            }
+            Err(e) => {
+                eprintln!("bench: {} FAILED: {e}", b.name);
+                failures += 1;
+            }
+        }
+    }
+
+    let mut doc = String::new();
+    let _ = write!(
+        doc,
+        "{{\"schema_version\":{SCHEMA_VERSION},\"config\":{},\"quick\":{quick},\"benchmarks\":[",
+        json::escape(&format!("paqoc({config})"))
+    );
+    doc.push_str(&rows.join(","));
+    doc.push_str("],\"total_wall_seconds\":");
+    write_num(&mut doc, started.elapsed().as_secs_f64());
+    doc.push_str("}\n");
+    if let Err(e) = std::fs::write(&out_path, &doc) {
+        eprintln!("bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "bench: wrote {out_path} ({} benchmarks, {:.1}s total)",
+        rows.len(),
+        started.elapsed().as_secs_f64()
+    );
+
+    if check {
+        let text = match std::fs::read_to_string(&out_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench: cannot read back {out_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match check_schema(&text) {
+            Ok(n) => println!("bench: schema check OK ({n} benchmarks, all keys present)"),
+            Err(e) => {
+                eprintln!("bench: schema check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -5,8 +5,11 @@
 //!
 //! Usage: `profile [benchmark] [config]` where `benchmark` is a Table-I
 //! name (default `qaoa`) and `config` is `m0`, `tuned` or `minf`
-//! (default `minf`). With `PAQOC_TRACE=<path>.jsonl` the raw trace is
-//! also dumped as JSON Lines.
+//! (default `minf`). With `PAQOC_TRACE=<path>.json` the trace is dumped
+//! in Chrome trace-event format (open in Perfetto / `chrome://tracing`);
+//! any other `PAQOC_TRACE=<path>` dumps raw JSON Lines. For the
+//! machine-readable cross-benchmark schema, use the `bench` binary
+//! (writes `BENCH_pipeline.json`).
 
 use paqoc_core::{compile, PipelineOptions};
 use paqoc_device::{AnalyticModel, Device};
@@ -87,7 +90,17 @@ fn main() {
     );
 
     match paqoc_telemetry::write_env_trace() {
-        Ok(Some(path)) => println!("trace written to {}", path.display()),
+        Ok(Some(path)) => {
+            if path.extension().is_some_and(|e| e == "json") {
+                println!(
+                    "trace written to {} (Chrome trace format — open in https://ui.perfetto.dev \
+                     or chrome://tracing)",
+                    path.display()
+                );
+            } else {
+                println!("trace written to {} (JSON Lines)", path.display());
+            }
+        }
         Ok(None) => {}
         Err(e) => eprintln!("failed to write trace: {e}"),
     }

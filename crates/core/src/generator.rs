@@ -15,7 +15,7 @@ use crate::group::{GroupKind, GroupedCircuit};
 use crate::table::PulseTable;
 use paqoc_circuit::Instruction;
 use paqoc_device::{AnalyticModel, Device, PulseSource};
-use paqoc_telemetry::counter;
+use paqoc_telemetry::{counter, event, observe, FieldValue};
 use std::time::Instant;
 
 /// Knobs of the customized-gates generator.
@@ -273,6 +273,12 @@ pub fn try_generate_customized_gates(
         candidates.sort_unstable();
         candidates.dedup();
 
+        // Per-iteration decision accounting for the event journal:
+        // candidate volume, Case I/II/III split (paper §IV-B), and the
+        // Obs.1/Obs.2 prune counts.
+        let candidates_total = candidates.len();
+        let (mut case1, mut case2, mut case3) = (0usize, 0usize, 0usize);
+        let mut pruned_qubit_cap = 0usize;
         let mut scored: Vec<(f64, f64, usize, usize)> = Vec::new();
         for (a, b) in candidates {
             counter("generator.candidates_evaluated", 1);
@@ -282,7 +288,13 @@ pub fn try_generate_customized_gates(
                 ga.qubits.union(&gb.qubits).copied().collect();
             if union_qubits.len() > opts.max_qubits {
                 counter("generator.pruned_qubit_cap", 1);
+                pruned_qubit_cap += 1;
                 continue;
+            }
+            match (critical[a], critical[b]) {
+                (true, true) => case1 += 1,
+                (true, false) | (false, true) => case2 += 1,
+                (false, false) => case3 += 1,
             }
             if opts.criticality_pruning && !critical[a] && !critical[b] {
                 counter("generator.pruned_case3", 1);
@@ -344,9 +356,9 @@ pub fn try_generate_customized_gates(
                 scored.push((span_gain, local_gain, a, b));
             }
         }
-        if scored.is_empty() {
-            break;
-        }
+        // Note: no early break on an empty `scored` — the loop falls
+        // through to the per-iteration decision event below and exits
+        // via `committed == 0`, so every counted iteration is journaled.
         scored.sort_by(|x, y| {
             y.0.total_cmp(&x.0)
                 .then(y.1.total_cmp(&x.1))
@@ -383,6 +395,31 @@ pub fn try_generate_customized_gates(
             let total_gain = saved_latency - est;
             let commit = new_span < span - opts.tolerance_ns
                 || (new_span <= span + opts.tolerance_ns && total_gain > opts.tolerance_ns);
+            if paqoc_telemetry::enabled() {
+                let m = trial
+                    .group_ids()
+                    .last()
+                    .copied()
+                    .expect("merge minted a group");
+                let g = trial.group(m);
+                event(
+                    if commit {
+                        "search.merge_commit"
+                    } else {
+                        "search.merge_reject"
+                    },
+                    &[
+                        ("iter", FieldValue::U64(report.iterations as u64)),
+                        ("a", FieldValue::U64(a as u64)),
+                        ("b", FieldValue::U64(b as u64)),
+                        ("gates", FieldValue::U64(g.instructions.len() as u64)),
+                        ("qubits", FieldValue::U64(g.qubits.len() as u64)),
+                        ("predicted_latency_ns", FieldValue::F64(est)),
+                        ("predicted_span_gain_ns", FieldValue::F64(span - new_span)),
+                        ("local_gain_ns", FieldValue::F64(total_gain)),
+                    ],
+                );
+            }
             if commit {
                 *grouped = trial;
                 touched.insert(a);
@@ -395,6 +432,22 @@ pub fn try_generate_customized_gates(
                 counter("generator.merges_rejected", 1);
             }
         }
+        // One decision event per merge iteration, whatever happened:
+        // the journal's view of the whole criticality search.
+        event!(
+            "search.iteration",
+            iter = report.iterations as u64,
+            groups = grouped.len() as u64,
+            span_ns = span,
+            candidates = candidates_total as u64,
+            case1 = case1 as u64,
+            case2 = case2 as u64,
+            case3 = case3 as u64,
+            pruned_case3 = (if opts.criticality_pruning { case3 } else { 0 }) as u64,
+            pruned_qubit_cap = pruned_qubit_cap as u64,
+            scored = scored.len() as u64,
+            committed = committed as u64,
+        );
         if committed == 0 {
             break;
         }
@@ -451,6 +504,11 @@ pub fn try_generate_customized_gates(
                 continue;
             }
             let insts = grouped.group(id).instructions.clone();
+            // The group's latency still holds the free analytic
+            // estimate the search committed on; comparing it with the
+            // realized pulse length measures the Obs.1 estimator error
+            // (negative = conservative over-estimate).
+            let predicted_ns = grouped.group(id).latency_ns;
             match table.try_pulse_for(
                 &insts,
                 device,
@@ -459,6 +517,18 @@ pub fn try_generate_customized_gates(
                 limits.pulse_retries,
             ) {
                 Ok(pulse) => {
+                    observe(
+                        "search.predicted_latency_error_ns",
+                        pulse.latency_ns - predicted_ns,
+                    );
+                    event!(
+                        "pulse.attach",
+                        group = id as u64,
+                        gates = insts.len() as u64,
+                        predicted_ns = predicted_ns,
+                        realized_ns = pulse.latency_ns,
+                        fidelity = pulse.fidelity,
+                    );
                     let g = grouped.group_mut(id);
                     g.latency_ns = pulse.latency_ns;
                     g.fidelity = pulse.fidelity;
@@ -468,6 +538,13 @@ pub fn try_generate_customized_gates(
                     let g = grouped.group(id);
                     report.fallbacks += 1;
                     counter("generator.fallbacks", 1);
+                    event!(
+                        "search.merge_rollback",
+                        group = id as u64,
+                        gates = g.instructions.len() as u64,
+                        qubits = g.qubits.len() as u64,
+                        reason = e.to_string(),
+                    );
                     degradations.push(Degradation::MergeRolledBack {
                         gates: g.instructions.len(),
                         qubits: g.qubits.len(),

@@ -266,6 +266,10 @@ impl GroupedCircuit {
     /// Panics if the pair is not contractible.
     pub fn merge(&mut self, a: usize, b: usize) -> usize {
         assert!(self.contractible(a, b), "({a},{b}) is not contractible");
+        // Counts every contraction including trial merges on cloned
+        // DAGs — the search's total structural work, which the
+        // committed-merge counters alone understate.
+        paqoc_telemetry::counter("group.contractions", 1);
         // Order: if b ⇝ a, b's instructions come first.
         let (first, second) = if self.has_path(b, a) { (b, a) } else { (a, b) };
         let ga = self.groups[first].take().expect("live");

@@ -357,6 +357,22 @@ pub fn try_compile(
     }
 
     let latency_ns = grouped.makespan_ns();
+    if paqoc_telemetry::enabled() {
+        for d in &outcome.degradations {
+            paqoc_telemetry::event!("pipeline.degradation", detail = d.to_string());
+        }
+        paqoc_telemetry::event!(
+            "pipeline.result",
+            latency_ns = latency_ns,
+            esp = esp,
+            groups = grouped.len() as u64,
+            iterations = outcome.report.iterations as u64,
+            pulses_generated = table.stats().pulses_generated as u64,
+            cache_hits = table.stats().cache_hits as u64,
+            partial = outcome.partial,
+            degradations = outcome.degradations.len() as u64,
+        );
+    }
     Ok(CompilationResult {
         physical,
         latency_ns,

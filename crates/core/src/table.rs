@@ -132,6 +132,13 @@ impl PulseTable {
             self.stats.cache_hits += 1;
             if paqoc_telemetry::enabled() {
                 paqoc_telemetry::counter(&format!("table.cache_hit.q{}", group_arity(group)), 1);
+                paqoc_telemetry::event!(
+                    "table.lookup",
+                    hit = true,
+                    arity = group_arity(group) as u64,
+                    gates = group.len() as u64,
+                    latency_ns = hit.latency_ns,
+                );
             }
             return Ok(hit);
         }
@@ -168,6 +175,18 @@ impl PulseTable {
                 Ok(estimate) => {
                     self.stats.pulses_generated += 1;
                     self.stats.cost_units += estimate.cost_units;
+                    // Miss provenance: what the generation cost, and how
+                    // close the warm-start seed was (Obs. 2 reuse).
+                    paqoc_telemetry::event!(
+                        "table.lookup",
+                        hit = false,
+                        arity = group_arity(group) as u64,
+                        gates = group.len() as u64,
+                        latency_ns = estimate.latency_ns,
+                        cost_units = estimate.cost_units,
+                        attempts = (attempt + 1) as u64,
+                        warm_distance = warm.unwrap_or(-1.0),
+                    );
                     self.entries.insert(key, estimate);
                     return Ok(estimate);
                 }

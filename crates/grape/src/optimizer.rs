@@ -107,6 +107,13 @@ pub fn optimize(
         let (fid, iters) = adam_loop(target, controls, &mut theta, opts);
         *total_iters += iters;
         paqoc_telemetry::counter("grape.iterations", iters as u64);
+        paqoc_telemetry::observe("grape.iterations_per_restart", iters as f64);
+        paqoc_telemetry::event!(
+            "grape.restart",
+            restart = restart as u64,
+            iterations = iters as u64,
+            fidelity = fid,
+        );
         GrapeResult {
             pulse: theta_to_pulse(&theta, controls, opts.step_ns),
             fidelity: fid,
@@ -247,6 +254,16 @@ fn adam_loop(
         if fid > best_fid {
             best_fid = fid;
             best_theta = Some(theta.clone());
+        }
+        // Convergence series for the event journal: sampled so a full
+        // optimization adds a handful of records, not one per iteration.
+        if iter % 32 == 0 {
+            paqoc_telemetry::event!(
+                "grape.converge",
+                iter = iter as u64,
+                fidelity = best_fid,
+                steps = steps as u64,
+            );
         }
         if fid >= opts.target_fidelity {
             if let Some(b) = best_theta {

@@ -243,6 +243,18 @@ impl PulseSource for GrapeSource {
                     cost_units: search.total_iterations as f64 * search.steps as f64 * d.powi(3)
                         / 1.0e6,
                 };
+                // Per-call convergence summary: how hard this gate was.
+                paqoc_telemetry::event!(
+                    "grape.call",
+                    gates = group.len() as u64,
+                    qubits = qubits.len() as u64,
+                    attempts = (attempt + 1) as u64,
+                    iterations = search.total_iterations as u64,
+                    steps = search.steps as u64,
+                    fidelity = search.result.fidelity,
+                    latency_ns = latency_ns,
+                    warm_started = seed_pulse.is_some(),
+                );
                 self.cache.insert(
                     key,
                     CacheEntry {

@@ -1,0 +1,155 @@
+//! Chrome-trace / Perfetto export: serializes a [`Snapshot`] into the
+//! Trace Event Format (JSON object with a `traceEvents` array) that
+//! `chrome://tracing` and <https://ui.perfetto.dev> load directly.
+//!
+//! Mapping: every span becomes a complete event (`ph:"X"`) on its
+//! thread's track, every journal event an instant event (`ph:"i"`,
+//! thread scope) with its typed fields as `args`, and every counter a
+//! final counter sample (`ph:"C"`). Timestamps are microseconds since
+//! the telemetry epoch, and the emitted array is sorted by timestamp so
+//! the file is monotonic — some viewers reject out-of-order traces.
+
+use crate::json::write_escaped;
+use crate::{FieldValue, Snapshot};
+use std::fmt::Write as _;
+
+/// One pre-rendered trace event, keyed for the monotonic sort.
+struct TraceEvent {
+    ts_ns: u64,
+    body: String,
+}
+
+fn write_ts(out: &mut String, ts_ns: u64) {
+    // Microseconds with nanosecond precision kept as fractional digits.
+    let _ = write!(out, "{}.{:03}", ts_ns / 1_000, ts_ns % 1_000);
+}
+
+fn write_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::Str(s) => write_escaped(out, s),
+    }
+}
+
+impl Snapshot {
+    /// Serializes the snapshot as Chrome-trace JSON. The returned
+    /// document is a single JSON object; write it to a `.json` file and
+    /// open it in `chrome://tracing` or Perfetto. Every string is
+    /// escaped through the same writer as the JSONL export, and events
+    /// appear in non-decreasing timestamp order.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<TraceEvent> =
+            Vec::with_capacity(self.spans.len() + self.events.len() + self.counters.len());
+        for s in &self.spans {
+            let mut body = String::new();
+            body.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+            let _ = write!(body, "{}", s.thread);
+            body.push_str(",\"ts\":");
+            write_ts(&mut body, s.start_ns);
+            body.push_str(",\"dur\":");
+            write_ts(&mut body, s.duration_ns);
+            body.push_str(",\"cat\":\"span\",\"name\":");
+            write_escaped(&mut body, &s.name);
+            body.push_str(",\"args\":{\"id\":");
+            let _ = write!(body, "{}", s.id);
+            body.push_str(",\"parent\":");
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(body, "{p}");
+                }
+                None => body.push_str("null"),
+            }
+            body.push_str("}}");
+            events.push(TraceEvent {
+                ts_ns: s.start_ns,
+                body,
+            });
+        }
+        for e in &self.events {
+            let mut body = String::new();
+            body.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":");
+            let _ = write!(body, "{}", e.thread);
+            body.push_str(",\"ts\":");
+            write_ts(&mut body, e.ts_ns);
+            body.push_str(",\"cat\":\"event\",\"name\":");
+            write_escaped(&mut body, &e.name);
+            body.push_str(",\"args\":{\"seq\":");
+            let _ = write!(body, "{}", e.seq);
+            for (k, v) in &e.fields {
+                body.push(',');
+                write_escaped(&mut body, k);
+                body.push(':');
+                write_field_value(&mut body, v);
+            }
+            body.push_str("}}");
+            events.push(TraceEvent {
+                ts_ns: e.ts_ns,
+                body,
+            });
+        }
+        // Counter totals as one sample each, stamped after everything
+        // else so they read as the run's final state.
+        let last_ts = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
+        for (name, value) in &self.counters {
+            let mut body = String::new();
+            body.push_str("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+            write_ts(&mut body, last_ts);
+            body.push_str(",\"cat\":\"counter\",\"name\":");
+            write_escaped(&mut body, name);
+            body.push_str(",\"args\":{\"value\":");
+            let _ = write!(body, "{value}");
+            body.push_str("}}");
+            events.push(TraceEvent {
+                ts_ns: last_ts,
+                body,
+            });
+        }
+        events.sort_by_key(|e| e.ts_ns);
+
+        let mut out = String::new();
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        // Thread-name metadata first (ph:"M" carries no timestamp
+        // semantics, so it does not break monotonicity).
+        let mut threads: Vec<u64> = self
+            .spans
+            .iter()
+            .map(|s| s.thread)
+            .chain(self.events.iter().map(|e| e.thread))
+            .collect();
+        threads.sort_unstable();
+        threads.dedup();
+        let mut first = true;
+        for t in threads {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"paqoc-{t}\"}}}}"
+            );
+        }
+        for e in &events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&e.body);
+        }
+        out.push_str("]}");
+        out
+    }
+}

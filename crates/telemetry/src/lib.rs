@@ -8,17 +8,26 @@
 //!   `mine` > …) and record wall time into a global thread-safe registry;
 //! * **Counters and histograms** — [`counter`] / [`observe`] for the
 //!   quantities the paper reasons about (merge candidates pruned, pulse
-//!   table hits, GRAPE iterations, SABRE swaps, …);
+//!   table hits, GRAPE iterations, SABRE swaps, …); histograms carry a
+//!   fixed-size log-bucket sketch, so [`Histogram::quantile`] answers
+//!   p50/p90/p99 without storing samples;
+//! * **Events** — a structured decision journal ([`event`]): named
+//!   records with typed fields ([`FieldValue`]), stamped with time,
+//!   thread and enclosing span, ring-buffered so unbounded workloads
+//!   keep the newest [`EVENT_CAPACITY`] records;
 //! * **Exports** — a JSONL trace ([`Snapshot::to_jsonl`], hand-rolled
-//!   JSON, parseable back with [`json::parse`]) and a human-readable
-//!   span-tree + counter-table report ([`Snapshot::render_report`]).
+//!   JSON, parseable back with [`json::parse`]), a Chrome-trace /
+//!   Perfetto JSON ([`Snapshot::to_chrome_trace`], open it in
+//!   `chrome://tracing` or <https://ui.perfetto.dev>) and a
+//!   human-readable span-tree + counter-table report
+//!   ([`Snapshot::render_report`]).
 //!
 //! Collection is off by default and costs a single relaxed atomic load
 //! per instrumentation site when disabled. It is switched on
 //! programmatically ([`set_enabled`]) or by setting the `PAQOC_TRACE`
 //! environment variable (any value but `0`/`false`/empty; a value with a
-//! path shape, e.g. `trace.jsonl`, additionally names a JSONL dump file
-//! for [`write_env_trace`]).
+//! path shape additionally names a dump file for [`write_env_trace`] —
+//! `.jsonl` gets the JSONL trace, `.json` the Chrome-trace export).
 //!
 //! ## Example
 //!
@@ -39,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 pub mod json;
 mod report;
 
@@ -60,6 +70,15 @@ const STATE_ON: u8 = 2;
 static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+// Bumped by `reset()`: per-thread span stacks compare their cached
+// generation against this and self-clear when stale, so a reset wipes
+// parent links on *every* thread without touching foreign thread-locals.
+static RESET_GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Ring-buffer capacity of the event journal. When a run records more
+/// events than this, the oldest are dropped (counted in
+/// [`Snapshot::events_dropped`]).
+pub const EVENT_CAPACITY: usize = 65_536;
 
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
@@ -71,9 +90,39 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
+/// Per-thread span stack, tagged with the reset generation it belongs
+/// to. Accessors call [`SpanStack::sync`] first, which clears the stack
+/// when a [`reset`] happened since the thread last touched it — a scope
+/// that unwound across a reset can therefore never leave a stale parent
+/// id behind.
+#[derive(Default)]
+struct SpanStack {
+    generation: u64,
+    ids: Vec<u64>,
+}
+
+impl SpanStack {
+    fn sync(&mut self) {
+        let generation = RESET_GENERATION.load(Ordering::Relaxed);
+        if self.generation != generation {
+            self.generation = generation;
+            self.ids.clear();
+        }
+    }
+}
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    static SPAN_STACK: RefCell<SpanStack> = RefCell::new(SpanStack::default());
     static THREAD_INDEX: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
+}
+
+/// Id of the innermost live span on this thread, if any.
+fn current_span_id() -> Option<u64> {
+    SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        stack.sync();
+        stack.ids.last().copied()
+    })
 }
 
 fn thread_index() -> u64 {
@@ -132,8 +181,12 @@ pub fn set_enabled(on: bool) {
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
-/// Discards every recorded span, counter and histogram.
+/// Discards every recorded span, counter, histogram and event, and
+/// invalidates every thread's span stack (each stack self-clears on its
+/// next use, so parent ids from before the reset cannot leak into spans
+/// recorded after it).
 pub fn reset() {
+    RESET_GENERATION.fetch_add(1, Ordering::Relaxed);
     let mut reg = registry().lock().expect("telemetry registry poisoned");
     *reg = Registry::default();
 }
@@ -156,8 +209,36 @@ pub struct SpanRecord {
     pub duration_ns: u64,
 }
 
-/// Aggregate of the values fed to [`observe`] under one name.
-#[derive(Clone, Copy, Debug, PartialEq)]
+/// Log-bucket sketch geometry: buckets cover magnitudes from
+/// [`SKETCH_MIN`] upward, 4 per doubling (relative quantile error
+/// ≤ ~9%), in two mirrored arrays for positive and negative values plus
+/// a near-zero bucket. 256 buckets × 4/doubling spans 64 doublings:
+/// 2⁻²⁰ ≈ 9.5e-7 up to 2⁴⁴ ≈ 1.8e13, wide enough for nanosecond
+/// latencies, iteration counts and cost units alike; magnitudes beyond
+/// either end clamp into the boundary buckets (exact extremes are still
+/// reported through `min`/`max`).
+const SKETCH_BUCKETS: usize = 256;
+const SKETCH_PER_DOUBLING: f64 = 4.0;
+const SKETCH_MIN: f64 = 1.0 / (1u64 << 20) as f64;
+
+fn sketch_index(magnitude: f64) -> usize {
+    let idx = (magnitude / SKETCH_MIN).log2() * SKETCH_PER_DOUBLING;
+    if idx < 0.0 {
+        0
+    } else {
+        (idx as usize).min(SKETCH_BUCKETS - 1)
+    }
+}
+
+/// Geometric midpoint of sketch bucket `i` (a magnitude).
+fn sketch_value(i: usize) -> f64 {
+    SKETCH_MIN * ((i as f64 + 0.5) / SKETCH_PER_DOUBLING).exp2()
+}
+
+/// Aggregate of the values fed to [`observe`] under one name: exact
+/// count/sum/min/max plus a fixed-size log-bucket sketch answering
+/// percentile queries ([`Histogram::quantile`]) without storing samples.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Histogram {
     /// Number of observations.
     pub count: u64,
@@ -167,6 +248,12 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observed value.
     pub max: f64,
+    /// Observations with `|v| < SKETCH_MIN` (including exact zeros).
+    zero: u64,
+    /// Log-bucket counts of negative observations, by magnitude.
+    neg: Box<[u32; SKETCH_BUCKETS]>,
+    /// Log-bucket counts of positive observations, by magnitude.
+    pos: Box<[u32; SKETCH_BUCKETS]>,
 }
 
 impl Histogram {
@@ -175,6 +262,17 @@ impl Histogram {
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        if v.abs() < SKETCH_MIN || !v.is_finite() {
+            self.zero += 1;
+        } else {
+            let buckets = if v < 0.0 {
+                &mut self.neg
+            } else {
+                &mut self.pos
+            };
+            let i = sketch_index(v.abs());
+            buckets[i] = buckets[i].saturating_add(1);
+        }
     }
 
     /// Mean of the observed values (0 when empty).
@@ -185,6 +283,51 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) from the log-bucket sketch:
+    /// exact rank selection over buckets, bucket midpoint as the value,
+    /// with relative error bounded by the bucket width (≤ ~9%). Returns
+    /// 0 when empty; the result is clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        // Ascending value order: most-negative magnitude first.
+        for i in (0..SKETCH_BUCKETS).rev() {
+            seen += u64::from(self.neg[i]);
+            if seen > rank {
+                return (-sketch_value(i)).clamp(self.min, self.max);
+            }
+        }
+        seen += self.zero;
+        if seen > rank {
+            return 0.0f64.clamp(self.min, self.max);
+        }
+        for i in 0..SKETCH_BUCKETS {
+            seen += u64::from(self.pos[i]);
+            if seen > rank {
+                return sketch_value(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (see [`Histogram::quantile`]).
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (see [`Histogram::quantile`]).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 impl Default for Histogram {
@@ -194,8 +337,86 @@ impl Default for Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            zero: 0,
+            neg: Box::new([0; SKETCH_BUCKETS]),
+            pos: Box::new([0; SKETCH_BUCKETS]),
         }
     }
+}
+
+/// A typed value attached to an [`event`] field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One journal entry: a named decision record with typed fields,
+/// stamped with time, thread and the enclosing span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Process-wide sequence number (monotonic within a reset epoch).
+    pub seq: u64,
+    /// Nanoseconds since the telemetry epoch.
+    pub ts_ns: u64,
+    /// Small per-process index of the recording thread.
+    pub thread: u64,
+    /// Id of the innermost live span on the recording thread, if any.
+    pub span: Option<u64>,
+    /// Event name (dotted taxonomy, e.g. `search.merge_commit`).
+    pub name: String,
+    /// Typed payload, in call order.
+    pub fields: Vec<(String, FieldValue)>,
 }
 
 #[derive(Default)]
@@ -203,10 +424,14 @@ struct Registry {
     spans: Vec<SpanRecord>,
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    events: std::collections::VecDeque<EventRecord>,
+    events_dropped: u64,
+    next_event_seq: u64,
 }
 
 /// An immutable copy of everything recorded so far. Spans appear in
-/// completion order (children before their parents).
+/// completion order (children before their parents); events in record
+/// order.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
     /// Completed spans.
@@ -215,6 +440,10 @@ pub struct Snapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram aggregates by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// The event journal, oldest retained record first.
+    pub events: Vec<EventRecord>,
+    /// Events evicted from the ring buffer ([`EVENT_CAPACITY`]).
+    pub events_dropped: u64,
 }
 
 /// Copies the current telemetry state out of the global registry.
@@ -224,6 +453,8 @@ pub fn snapshot() -> Snapshot {
         spans: reg.spans.clone(),
         counters: reg.counters.clone(),
         histograms: reg.histograms.clone(),
+        events: reg.events.iter().cloned().collect(),
+        events_dropped: reg.events_dropped,
     }
 }
 
@@ -254,8 +485,9 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
-        let parent = stack.last().copied();
-        stack.push(id);
+        stack.sync();
+        let parent = stack.ids.last().copied();
+        stack.ids.push(id);
         parent
     });
     SpanGuard {
@@ -279,14 +511,25 @@ impl Drop for SpanGuard {
             .duration_since(epoch())
             .as_nanos()
             .min(u64::MAX as u128) as u64;
-        SPAN_STACK.with(|stack| {
+        // If a `reset()` happened while this guard was live, its stack
+        // entry is already gone (generation bump) and the span belongs
+        // to the wiped epoch: clean up and record nothing.
+        let stale = SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
+            stack.sync();
             // Guards normally drop in LIFO order; tolerate manual
             // out-of-order drops by removing this id wherever it is.
-            if let Some(pos) = stack.iter().rposition(|&s| s == live.id) {
-                stack.remove(pos);
+            match stack.ids.iter().rposition(|&s| s == live.id) {
+                Some(pos) => {
+                    stack.ids.remove(pos);
+                    false
+                }
+                None => true,
             }
         });
+        if stale {
+            return;
+        }
         let record = SpanRecord {
             id: live.id,
             parent: live.parent,
@@ -321,13 +564,70 @@ pub fn observe(name: &str, value: f64) {
         .record(value);
 }
 
-/// Writes the current snapshot as JSONL to the path named by
-/// `PAQOC_TRACE`, if it names one. Returns the path written.
+/// Records one journal event with typed fields. No-op (one relaxed
+/// atomic load, no allocation beyond what the caller already built)
+/// when collection is disabled — hot paths with expensive field values
+/// should gate on [`enabled`] before building them.
+///
+/// The record is stamped with the current time, thread index and
+/// innermost live span, and pushed into a ring buffer of
+/// [`EVENT_CAPACITY`] records (oldest evicted first, eviction counted).
+///
+/// ```
+/// use paqoc_telemetry::FieldValue;
+/// paqoc_telemetry::set_enabled(true);
+/// paqoc_telemetry::reset();
+/// paqoc_telemetry::event(
+///     "search.merge_commit",
+///     &[("gates", FieldValue::U64(3)), ("gain_ns", FieldValue::F64(12.5))],
+/// );
+/// let snap = paqoc_telemetry::snapshot();
+/// assert_eq!(snap.events[0].name, "search.merge_commit");
+/// paqoc_telemetry::set_enabled(false);
+/// ```
+pub fn event(name: &str, fields: &[(&str, FieldValue)]) {
+    if !enabled() {
+        return;
+    }
+    let _ = epoch();
+    let ts_ns = epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let record_span = current_span_id();
+    let thread = thread_index();
+    let mut reg = registry().lock().expect("telemetry registry poisoned");
+    let seq = reg.next_event_seq;
+    reg.next_event_seq += 1;
+    if reg.events.len() >= EVENT_CAPACITY {
+        reg.events.pop_front();
+        reg.events_dropped += 1;
+    }
+    reg.events.push_back(EventRecord {
+        seq,
+        ts_ns,
+        thread,
+        span: record_span,
+        name: name.to_string(),
+        fields: fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    });
+}
+
+/// Writes the current snapshot to the path named by `PAQOC_TRACE`, if
+/// it names one, and returns that path. A `.json` path gets the
+/// Chrome-trace export ([`Snapshot::to_chrome_trace`], loadable in
+/// `chrome://tracing` / Perfetto); anything else gets the JSONL trace.
 pub fn write_env_trace() -> std::io::Result<Option<std::path::PathBuf>> {
     let Some(path) = env_trace_path() else {
         return Ok(None);
     };
-    std::fs::write(&path, snapshot().to_jsonl())?;
+    let snap = snapshot();
+    let body = if path.extension().is_some_and(|e| e == "json") {
+        snap.to_chrome_trace()
+    } else {
+        snap.to_jsonl()
+    };
+    std::fs::write(&path, body)?;
     Ok(Some(path))
 }
 
@@ -337,6 +637,23 @@ pub fn write_env_trace() -> std::io::Result<Option<std::path::PathBuf>> {
 macro_rules! span {
     ($name:expr) => {
         $crate::span($name)
+    };
+}
+
+/// Records a journal event; sugar for [`event`].
+/// `event!("name", key = value, …)` converts each value with
+/// [`FieldValue::from`] — and only builds the field slice when
+/// collection is enabled, so string/format values cost nothing on the
+/// disabled path beyond the one relaxed atomic load.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::event(
+                $name,
+                &[$((stringify!($key), $crate::FieldValue::from($value))),*],
+            );
+        }
     };
 }
 

@@ -2,12 +2,15 @@
 //! span-tree / counter-table report printed by the `profile` bench bin.
 
 use crate::json::write_escaped;
-use crate::{Snapshot, SpanRecord};
+use crate::{FieldValue, Snapshot, SpanRecord};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 impl Snapshot {
     /// Serializes the snapshot as JSON Lines: one object per span (in
-    /// completion order), then one per counter, then one per histogram.
+    /// completion order), then one per counter, one per histogram
+    /// (percentiles included) and one per journal event, plus an
+    /// `events_dropped` line when the ring buffer evicted anything.
     /// Every line parses back with [`crate::json::parse`].
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -43,9 +46,76 @@ impl Snapshot {
             write_f64(&mut out, h.min);
             out.push_str(",\"max\":");
             write_f64(&mut out, h.max);
+            out.push_str(",\"p50\":");
+            write_f64(&mut out, h.p50());
+            out.push_str(",\"p90\":");
+            write_f64(&mut out, h.p90());
+            out.push_str(",\"p99\":");
+            write_f64(&mut out, h.p99());
             out.push_str("}\n");
         }
+        for e in &self.events {
+            out.push_str("{\"type\":\"event\",\"seq\":");
+            let _ = write!(out, "{}", e.seq);
+            let _ = write!(
+                out,
+                ",\"ts_ns\":{},\"thread\":{},\"span\":",
+                e.ts_ns, e.thread
+            );
+            match e.span {
+                Some(s) => {
+                    let _ = write!(out, "{s}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"name\":");
+            write_escaped(&mut out, &e.name);
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(&mut out, k);
+                out.push(':');
+                match v {
+                    FieldValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::I64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::F64(x) => write_f64(&mut out, *x),
+                    FieldValue::Bool(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                    FieldValue::Str(s) => write_escaped(&mut out, s),
+                }
+            }
+            out.push_str("}}\n");
+        }
+        if self.events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"events_dropped\",\"value\":{}}}",
+                self.events_dropped
+            );
+        }
         out
+    }
+
+    /// Event names with their record counts, most frequent first (ties
+    /// by name); the journal's table of contents.
+    pub fn event_counts(&self) -> Vec<(String, u64)> {
+        let mut by_name: BTreeMap<&str, u64> = BTreeMap::new();
+        for e in &self.events {
+            *by_name.entry(e.name.as_str()).or_insert(0) += 1;
+        }
+        let mut counts: Vec<(String, u64)> = by_name
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts
     }
 
     /// Renders the span tree (with per-phase wall time and the share of
@@ -72,19 +142,37 @@ impl Snapshot {
             out.push_str("── histograms ─────────────────────────────────────────────\n");
             let _ = writeln!(
                 out,
-                "{:<32} {:>8} {:>10} {:>10} {:>10}",
-                "name", "count", "mean", "min", "max"
+                "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "min", "p50", "p90", "p99", "max"
             );
             for (name, h) in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{:<32} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                    "{:<32} {:>8} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
                     name,
                     h.count,
                     h.mean(),
                     h.min,
+                    h.p50(),
+                    h.p90(),
+                    h.p99(),
                     h.max
                 );
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("── event journal (top 10 by count) ────────────────────────\n");
+            for (name, count) in self.event_counts().into_iter().take(10) {
+                let _ = writeln!(out, "{name:<44} {count:>12}");
+            }
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12}",
+                "(total events)",
+                self.events.len() as u64 + self.events_dropped
+            );
+            if self.events_dropped > 0 {
+                let _ = writeln!(out, "{:<44} {:>12}", "(dropped)", self.events_dropped);
             }
         }
         out

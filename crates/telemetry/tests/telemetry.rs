@@ -3,7 +3,9 @@
 //! state it depends on.
 
 use paqoc_telemetry::json::{parse, Value};
-use paqoc_telemetry::{counter, observe, reset, set_enabled, snapshot, span};
+use paqoc_telemetry::{
+    counter, event, observe, reset, set_enabled, snapshot, span, FieldValue, EVENT_CAPACITY,
+};
 use std::sync::Mutex;
 
 static GLOBAL: Mutex<()> = Mutex::new(());
@@ -146,11 +148,14 @@ fn disabled_collector_records_nothing() {
         let _s = span("ghost");
         counter("ghost.count", 1);
         observe("ghost.hist", 1.0);
+        event("ghost.event", &[("k", FieldValue::from(1u64))]);
+        paqoc_telemetry::event!("ghost.macro_event", k = 2u64);
     }
     let snap = snapshot();
     assert!(snap.spans.is_empty(), "{:?}", snap.spans);
     assert!(snap.counters.is_empty());
     assert!(snap.histograms.is_empty());
+    assert!(snap.events.is_empty(), "{:?}", snap.events);
 }
 
 #[test]
@@ -173,6 +178,207 @@ fn report_renders_tree_counters_and_histograms() {
     assert!(report.contains("miner.patterns_found"));
     assert!(report.contains("table.group_qubits"));
     assert!(report.contains('%'));
+}
+
+#[test]
+fn events_carry_typed_fields_and_link_to_the_enclosing_span() {
+    let _lock = fresh();
+    {
+        let _search = span("search");
+        paqoc_telemetry::event!(
+            "search.iteration",
+            iter = 3u64,
+            gain = -12.5f64,
+            committed = true,
+            reason = "top_k",
+        );
+    }
+    event("orphan", &[]);
+    let snap = snapshot();
+    set_enabled(false);
+
+    assert_eq!(snap.events.len(), 2);
+    let e = &snap.events[0];
+    assert_eq!(e.name, "search.iteration");
+    assert_eq!(e.span, Some(snap.spans_named("search")[0].id));
+    assert_eq!(e.fields[0], ("iter".to_string(), FieldValue::U64(3)));
+    assert_eq!(e.fields[1], ("gain".to_string(), FieldValue::F64(-12.5)));
+    assert_eq!(
+        e.fields[2],
+        ("committed".to_string(), FieldValue::Bool(true))
+    );
+    assert_eq!(
+        e.fields[3],
+        ("reason".to_string(), FieldValue::Str("top_k".to_string()))
+    );
+
+    let orphan = &snap.events[1];
+    assert_eq!(orphan.span, None, "no enclosing span after the guard drops");
+    assert!(orphan.seq > e.seq, "sequence numbers are monotone");
+    assert!(orphan.ts_ns >= e.ts_ns, "timestamps are monotone");
+    assert_eq!(snap.events_dropped, 0);
+}
+
+#[test]
+fn event_journal_evicts_oldest_at_capacity() {
+    let _lock = fresh();
+    let extra = 10usize;
+    for i in 0..EVENT_CAPACITY + extra {
+        event("flood", &[("i", FieldValue::from(i as u64))]);
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    assert_eq!(snap.events.len(), EVENT_CAPACITY);
+    assert_eq!(snap.events_dropped, extra as u64);
+    assert_eq!(
+        snap.events[0].fields[0].1,
+        FieldValue::U64(extra as u64),
+        "the oldest events are the ones evicted"
+    );
+}
+
+#[test]
+fn reset_clears_per_thread_span_stacks() {
+    let _lock = fresh();
+    // A guard leaked across a reset must not leave a stale parent id on
+    // this thread's stack, and must not record a span on drop.
+    let stale = span("stale");
+    reset();
+    drop(stale);
+    {
+        let _fresh_span = span("fresh");
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    let names: Vec<&str> = snap.spans.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["fresh"], "the pre-reset span must not be recorded");
+    assert_eq!(
+        snap.spans_named("fresh")[0].parent,
+        None,
+        "reset must clear the per-thread span stack"
+    );
+}
+
+#[test]
+fn histogram_quantiles_track_a_known_distribution() {
+    let _lock = fresh();
+    for i in 1..=1000 {
+        observe("latency", f64::from(i));
+    }
+    observe("signed", -40.0);
+    observe("signed", 0.0);
+    observe("signed", 40.0);
+    let snap = snapshot();
+    set_enabled(false);
+
+    // The sketch guarantees ≤ ~9% relative error per bucket.
+    let h = &snap.histograms["latency"];
+    assert!((h.p50() - 500.0).abs() / 500.0 < 0.10, "p50 = {}", h.p50());
+    assert!((h.p90() - 900.0).abs() / 900.0 < 0.10, "p90 = {}", h.p90());
+    assert!((h.p99() - 990.0).abs() / 990.0 < 0.10, "p99 = {}", h.p99());
+    assert!(h.quantile(0.0) >= h.min && h.quantile(1.0) <= h.max);
+
+    // Negative and zero observations land on the correct side of zero.
+    let s = &snap.histograms["signed"];
+    assert!(
+        (s.quantile(0.0) + 40.0).abs() / 40.0 < 0.10,
+        "{}",
+        s.quantile(0.0)
+    );
+    assert_eq!(s.p50(), 0.0);
+    assert!(
+        (s.quantile(1.0) - 40.0).abs() / 40.0 < 0.10,
+        "{}",
+        s.quantile(1.0)
+    );
+}
+
+#[test]
+fn jsonl_includes_events_and_drop_marker() {
+    let _lock = fresh();
+    event(
+        "decision \"quoted\"\\",
+        &[
+            ("text", FieldValue::from("line\nbreak")),
+            ("nan", FieldValue::from(f64::NAN)),
+        ],
+    );
+    let snap = snapshot();
+    set_enabled(false);
+    let jsonl = snap.to_jsonl();
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains("\"type\":\"event\""))
+        .expect("event line present");
+    let v = parse(line).expect("event line parses");
+    assert_eq!(
+        v.get("name").and_then(Value::as_str),
+        Some("decision \"quoted\"\\")
+    );
+    let fields = v.get("fields").expect("fields object");
+    assert_eq!(
+        fields.get("text").and_then(Value::as_str),
+        Some("line\nbreak")
+    );
+    assert!(
+        matches!(fields.get("nan"), Some(Value::Null)),
+        "non-finite floats serialize as null"
+    );
+}
+
+#[test]
+fn chrome_trace_escapes_names_and_parses() {
+    let _lock = fresh();
+    {
+        let _s = span("phase \"x\"\\\n");
+        event("note\t", &[("msg", FieldValue::from("say \"hi\"\\"))]);
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    let trace = snap.to_chrome_trace();
+    let v = parse(&trace).expect("chrome trace is valid JSON");
+    let Some(Value::Arr(events)) = v.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(events
+        .iter()
+        .any(|e| e.get("name").and_then(Value::as_str) == Some("phase \"x\"\\\n")));
+    let note = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("note\t"))
+        .expect("instant event present");
+    assert_eq!(note.get("ph").and_then(Value::as_str), Some("i"));
+    assert_eq!(
+        note.get("args")
+            .and_then(|a| a.get("msg"))
+            .and_then(Value::as_str),
+        Some("say \"hi\"\\")
+    );
+}
+
+#[test]
+fn chrome_trace_timestamps_are_monotone() {
+    let _lock = fresh();
+    for i in 0..5 {
+        let _s = span("step");
+        event("tick", &[("i", FieldValue::from(i as u64))]);
+    }
+    counter("steps", 5);
+    let snap = snapshot();
+    set_enabled(false);
+    let v = parse(&snap.to_chrome_trace()).expect("chrome trace parses");
+    let Some(Value::Arr(events)) = v.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let ts: Vec<f64> = events
+        .iter()
+        .filter_map(|e| e.get("ts").and_then(Value::as_num))
+        .collect();
+    assert!(ts.len() >= 11, "5 spans + 5 instants + 1 counter");
+    assert!(
+        ts.windows(2).all(|w| w[0] <= w[1]),
+        "trace events must be sorted by timestamp: {ts:?}"
+    );
 }
 
 #[test]

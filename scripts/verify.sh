@@ -10,6 +10,10 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== bench --quick --check =="
+cargo run --release -p paqoc-bench --bin bench -- --quick --check \
+    --out target/BENCH_pipeline_quick.json
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

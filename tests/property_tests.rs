@@ -244,3 +244,62 @@ fn gate_unitaries_respect_arity() {
         assert!(u.is_unitary(1e-10), "{k:?}");
     }
 }
+
+/// A short random string biased heavily toward JSON-hostile characters:
+/// quotes, backslashes, control characters, multi-byte code points.
+fn hostile_name(rng: &mut Rng) -> String {
+    const PALETTE: [char; 12] = [
+        '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{7f}', '/', 'é', '→', 'a', '0',
+    ];
+    let len = rng.random_range(1..12usize);
+    (0..len)
+        .map(|_| PALETTE[rng.random_range(0..PALETTE.len())])
+        .collect()
+}
+
+#[test]
+fn jsonl_export_roundtrips_hostile_names() {
+    use paqoc::telemetry::{self, json, FieldValue};
+    // Telemetry is process-global; no other test in this binary uses it.
+    telemetry::set_enabled(true);
+    for seed in 0..CASES {
+        telemetry::reset();
+        let mut rng = Rng::seed_from_u64(0xBEEF ^ seed);
+        let mut names: Vec<String> = (0..4).map(|_| hostile_name(&mut rng)).collect();
+        names.sort();
+        names.dedup();
+        let field = hostile_name(&mut rng);
+        {
+            let _s = telemetry::span(&names[0]);
+            for n in &names {
+                telemetry::counter(n, 1);
+                telemetry::observe(n, rng.random_range(-3.0..3.0f64));
+                telemetry::event(n, &[("payload", FieldValue::from(field.as_str()))]);
+            }
+        }
+        let snap = telemetry::snapshot();
+        let mut seen: Vec<String> = Vec::new();
+        for line in snap.to_jsonl().lines() {
+            let v = json::parse(line)
+                .unwrap_or_else(|e| panic!("seed {seed}: line does not parse: {e}\n{line}"));
+            if let Some(name) = v.get("name").and_then(json::Value::as_str) {
+                seen.push(name.to_string());
+            }
+            if v.get("type").and_then(json::Value::as_str) == Some("event") {
+                let payload = v
+                    .get("fields")
+                    .and_then(|f| f.get("payload"))
+                    .and_then(json::Value::as_str);
+                assert_eq!(payload, Some(field.as_str()), "seed {seed}");
+            }
+        }
+        for n in &names {
+            assert!(seen.iter().any(|s| s == n), "seed {seed}: {n:?} lost");
+        }
+        // The Chrome-trace export of the same snapshot must also parse.
+        json::parse(&snap.to_chrome_trace())
+            .unwrap_or_else(|e| panic!("seed {seed}: chrome trace does not parse: {e}"));
+    }
+    telemetry::set_enabled(false);
+    telemetry::reset();
+}

@@ -100,9 +100,86 @@ fn compile_emits_phase_spans_and_matching_counters() {
     // An M=inf run on a QAOA-like circuit accepts APA occurrences.
     assert!(snap.counters.get("apa.accepted").copied().unwrap_or(0) > 0);
 
+    // The event journal carries the criticality search's decisions:
+    // exactly one `search.iteration` event per counted merge iteration.
+    let iteration_events: Vec<_> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == "search.iteration")
+        .collect();
+    assert_eq!(
+        iteration_events.len(),
+        result.report.iterations,
+        "one decision event per merge iteration"
+    );
+    let generate_span = snap.spans_named("generate")[0];
+    for e in &iteration_events {
+        assert_eq!(
+            e.span,
+            Some(generate_span.id),
+            "search events nest under the generate span"
+        );
+    }
+    // Committed merges in the journal agree with the report.
+    let committed: u64 = iteration_events
+        .iter()
+        .map(|e| {
+            e.fields
+                .iter()
+                .find(|(k, _)| k == "committed")
+                .and_then(|(_, v)| match v {
+                    telemetry::FieldValue::U64(n) => Some(*n),
+                    _ => None,
+                })
+                .expect("committed field present")
+        })
+        .sum();
+    assert_eq!(committed as usize, result.report.criticality_merges);
+
+    // Every pulse attachment journals predicted vs realized latency, and
+    // with the analytic model as the pulse source the estimator must be
+    // conservative: realized latency never exceeds the prediction by
+    // more than float noise (well under one device cycle).
+    let err = &snap.histograms["search.predicted_latency_error_ns"];
+    assert_eq!(
+        err.count as usize,
+        snap.events
+            .iter()
+            .filter(|e| e.name == "pulse.attach")
+            .count()
+    );
+    assert!(
+        err.max <= 1.0,
+        "estimator must be conservative: max realized-minus-predicted \
+         was {} ns",
+        err.max
+    );
+    assert!(err.p99() <= 1.0, "p99 error {} ns", err.p99());
+
     // And the JSONL export of this real run round-trips line by line.
     let jsonl = snap.to_jsonl();
+    let mut event_lines = 0usize;
     for line in jsonl.lines() {
-        telemetry::json::parse(line).expect("every exported line parses");
+        let v = telemetry::json::parse(line).expect("every exported line parses");
+        if v.get("type").and_then(telemetry::json::Value::as_str) == Some("event") {
+            event_lines += 1;
+        }
+    }
+    assert_eq!(event_lines, snap.events.len());
+
+    // The Chrome-trace view of the same run parses and names the phases.
+    let trace = snap.to_chrome_trace();
+    let doc = telemetry::json::parse(&trace).expect("chrome trace parses");
+    let Some(telemetry::json::Value::Arr(tev)) = doc.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    for phase in ["compile", "lower", "map", "mine", "group", "generate"] {
+        assert!(
+            tev.iter().any(|e| {
+                e.get("name").and_then(telemetry::json::Value::as_str) == Some(phase)
+                    && e.get("ph").and_then(telemetry::json::Value::as_str) == Some("X")
+            }),
+            "phase `{phase}` missing from the chrome trace"
+        );
     }
 }
