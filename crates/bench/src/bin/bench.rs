@@ -5,14 +5,22 @@
 //! PRs can diff machine-readable perf trajectories instead of eyeballing
 //! stdout tables.
 //!
-//! Usage: `bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]`
+//! Usage: `bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]
+//! [--pulse-db PATH] [--expect-warm]`
 //!
-//! * `--quick`  — 3-benchmark subset (CI smoke; same schema).
-//! * `--check`  — after writing, parse the file back with the in-tree
+//! * `--quick`    — 3-benchmark subset (CI smoke; same schema).
+//! * `--check`    — after writing, parse the file back with the in-tree
 //!   JSON parser and assert every schema key is present (exit 1 if not).
-//! * `--config` — pipeline configuration (default `minf`, the paper's
+//! * `--config`   — pipeline configuration (default `minf`, the paper's
 //!   cheapest-compile mode).
-//! * `--out`    — output path (default `BENCH_pipeline.json`).
+//! * `--out`      — output path (default `BENCH_pipeline.json`).
+//! * `--pulse-db` — persistent pulse store path; a second (warm) run
+//!   against the same path serves every pulse from disk. The
+//!   `store_hits` column records how many lookups the store answered.
+//! * `--expect-warm` — assert the run was fully warm: zero pulses
+//!   generated and at least one store hit per benchmark (exit 1
+//!   otherwise). This is the cold→warm acceptance gate in
+//!   `scripts/verify.sh`.
 
 use paqoc_core::{try_compile, CompilationResult, PipelineOptions};
 use paqoc_device::{AnalyticModel, Device};
@@ -22,14 +30,15 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 /// Schema version; bump on any key change so trend tooling can gate.
-const SCHEMA_VERSION: u64 = 1;
+/// v2: added `store_hits` (persistent pulse-store hits) per benchmark.
+const SCHEMA_VERSION: u64 = 2;
 
 /// The `--quick` subset: the three fastest Table-I benchmarks, spanning
 /// a Toffoli network, an adder and an oracle family.
 const QUICK_SUBSET: [&str; 3] = ["mod5d2_64", "rd32_270", "bv"];
 
 /// Keys every per-benchmark object must carry (asserted by `--check`).
-const BENCHMARK_KEYS: [&str; 16] = [
+const BENCHMARK_KEYS: [&str; 17] = [
     "name",
     "wall_seconds",
     "latency_ns",
@@ -40,6 +49,7 @@ const BENCHMARK_KEYS: [&str; 16] = [
     "pulse_table_hit_rate",
     "pulses_generated",
     "cache_hits",
+    "store_hits",
     "cost_units",
     "search_iterations",
     "preprocess_merges",
@@ -90,8 +100,8 @@ fn benchmark_object(name: &str, r: &CompilationResult) -> String {
     write_num(&mut o, hit_rate);
     let _ = write!(
         o,
-        ",\"pulses_generated\":{},\"cache_hits\":{},\"cost_units\":",
-        r.stats.pulses_generated, r.stats.cache_hits
+        ",\"pulses_generated\":{},\"cache_hits\":{},\"store_hits\":{},\"cost_units\":",
+        r.stats.pulses_generated, r.stats.cache_hits, r.stats.store_hits
     );
     write_num(&mut o, r.stats.cost_units);
     let _ = write!(
@@ -137,6 +147,8 @@ fn main() {
     let mut check = false;
     let mut config = "minf".to_string();
     let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut pulse_db: Option<std::path::PathBuf> = None;
+    let mut expect_warm = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -144,14 +156,25 @@ fn main() {
             "--check" => check = true,
             "--config" => config = args.next().unwrap_or_default(),
             "--out" => out_path = args.next().unwrap_or_default(),
+            "--pulse-db" => match args.next() {
+                Some(p) if !p.is_empty() => pulse_db = Some(std::path::PathBuf::from(p)),
+                _ => {
+                    eprintln!("--pulse-db requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--expect-warm" => expect_warm = true,
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!("usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]");
+                eprintln!(
+                    "usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH] \
+                     [--pulse-db PATH] [--expect-warm]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let opts = match config.as_str() {
+    let mut opts = match config.as_str() {
         "m0" => PipelineOptions::m0(),
         "tuned" => PipelineOptions::m_tuned(),
         "minf" => PipelineOptions::m_inf(),
@@ -160,11 +183,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    opts.pulse_db = pulse_db;
 
     let device = Device::grid5x5();
     let started = Instant::now();
     let mut rows: Vec<String> = Vec::new();
     let mut failures = 0usize;
+    let mut cold_benchmarks: Vec<&'static str> = Vec::new();
     for b in all_benchmarks() {
         if quick && !QUICK_SUBSET.contains(&b.name) {
             continue;
@@ -174,20 +199,25 @@ fn main() {
         match try_compile(&circuit, &device, &mut source, &opts) {
             Ok(result) => {
                 println!(
-                    "bench: {:<14} {:>8.3}s  {:>8} dt  esp {:.4}  hits {}/{}  iters {}",
+                    "bench: {:<14} {:>8.3}s  {:>8} dt  esp {:.4}  hits {}/{}  store {}  iters {}",
                     b.name,
                     result.wall_seconds,
                     result.latency_dt,
                     result.esp,
                     result.stats.cache_hits,
                     result.stats.cache_hits + result.stats.pulses_generated,
+                    result.stats.store_hits,
                     result.report.iterations
                 );
+                if result.stats.pulses_generated > 0 || result.stats.store_hits == 0 {
+                    cold_benchmarks.push(b.name);
+                }
                 rows.push(benchmark_object(b.name, &result));
             }
             Err(e) => {
                 eprintln!("bench: {} FAILED: {e}", b.name);
                 failures += 1;
+                cold_benchmarks.push(b.name);
             }
         }
     }
@@ -226,6 +256,19 @@ fn main() {
                 eprintln!("bench: schema check FAILED: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+    if expect_warm {
+        if cold_benchmarks.is_empty() {
+            println!("bench: warm-start check OK (every benchmark served from the pulse store)");
+        } else {
+            eprintln!(
+                "bench: warm-start check FAILED: {} benchmark(s) generated pulses or missed \
+                 the store: {}",
+                cold_benchmarks.len(),
+                cold_benchmarks.join(", ")
+            );
+            std::process::exit(1);
         }
     }
     if failures > 0 {

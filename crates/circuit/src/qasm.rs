@@ -138,7 +138,9 @@ fn strip_comment(line: &str) -> &str {
 /// Parses `q[5]` (after `qreg`) into 5.
 fn parse_reg_size(s: &str) -> Option<usize> {
     let open = s.find('[')?;
-    let close = s.find(']')?;
+    // Search for the `]` only *after* the `[`: on garbage like `]q[`
+    // an independent find would produce a reversed (panicking) range.
+    let close = open + s[open..].find(']')?;
     s[open + 1..close].trim().parse().ok()
 }
 
@@ -198,7 +200,8 @@ fn parse_gate_statement(
         .map(|op| {
             let op = op.trim();
             let open = op.find('[');
-            let close = op.find(']');
+            // `]` must come after the `[` (see parse_reg_size).
+            let close = open.and_then(|o| op[o..].find(']').map(|c| o + c));
             match (open, close) {
                 (Some(o), Some(c)) => op[o + 1..c]
                     .trim()
@@ -229,6 +232,25 @@ fn parse_gate_statement(
                 params.len()
             ),
         ));
+    }
+    // Validate here rather than letting `Circuit::push` assert: the
+    // parser's contract is a typed error on any malformed input.
+    for (i, &q) in qubits.iter().enumerate() {
+        if q >= circuit.num_qubits() {
+            return Err(ParseQasmError::new(
+                lineno,
+                format!(
+                    "qubit index {q} out of range for {}-qubit register",
+                    circuit.num_qubits()
+                ),
+            ));
+        }
+        if qubits[..i].contains(&q) {
+            return Err(ParseQasmError::new(
+                lineno,
+                format!("duplicate qubit operand q[{q}] in {name}"),
+            ));
+        }
     }
     circuit.apply(kind, qubits, params);
     Ok(())
@@ -400,9 +422,26 @@ mod tests {
     }
 
     #[test]
+    fn reversed_brackets_are_an_error_not_a_panic() {
+        // `]` before `[` used to build a reversed slice range and panic.
+        assert!(parse_qasm("qreg ]q[;").is_err());
+        assert!(parse_qasm("qreg q[2];\nh ]q[0;").is_err());
+        assert!(parse_qasm("qreg q[2];\ncx q]0[, q[1];").is_err());
+    }
+
+    #[test]
     fn gate_before_qreg_is_an_error() {
         let err = parse_qasm("h q[0];").unwrap_err();
         assert!(err.to_string().contains("gate before qreg"));
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_operands_are_errors_not_panics() {
+        // Both used to fall through to Circuit's asserts and abort.
+        let err = parse_qasm("qreg q[2];\nh q[2];").unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        let err = parse_qasm("qreg q[3];\ncx q[1], q[1];").unwrap_err();
+        assert!(err.to_string().contains("duplicate qubit"), "{err}");
     }
 
     #[test]

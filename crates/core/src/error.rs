@@ -37,6 +37,14 @@ pub enum CompileError {
         /// The configured deadline.
         deadline: Duration,
     },
+    /// The pulse source panicked on a group and estimator fallback was
+    /// disabled, so the caught crash cannot degrade into anything.
+    SourcePanic {
+        /// Number of gates in the group whose generation panicked.
+        gates: usize,
+        /// The panic payload captured by the supervisor.
+        message: String,
+    },
     /// The compiled circuit's estimated success probability fell below
     /// the hard floor requested via `PipelineOptions::min_esp`.
     EspUnsatisfiable {
@@ -64,6 +72,10 @@ impl std::fmt::Display for CompileError {
                     "compilation deadline of {deadline:?} exceeded before start"
                 )
             }
+            CompileError::SourcePanic { gates, message } => write!(
+                f,
+                "pulse source panicked on a {gates}-gate group: {message}"
+            ),
             CompileError::EspUnsatisfiable { achieved, required } => write!(
                 f,
                 "achievable ESP {achieved:.6} is below the required floor {required:.6}"
@@ -139,6 +151,22 @@ pub enum Degradation {
         /// The configured budget.
         budget: f64,
     },
+    /// The pulse source **panicked** on a group; the supervisor caught
+    /// the unwind, quarantined the group's cache key, and the group fell
+    /// through the usual ladder (rollback, then estimator fallback).
+    SourcePanic {
+        /// Gates in the group whose generation panicked.
+        gates: usize,
+        /// The panic payload captured by the supervisor.
+        message: String,
+    },
+    /// The persistent pulse store could not be opened; compilation
+    /// proceeded with the in-memory table only, so this run's pulses
+    /// will not survive the process.
+    StoreUnavailable {
+        /// Why the store could not be opened.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Degradation {
@@ -162,6 +190,14 @@ impl std::fmt::Display for Degradation {
             Degradation::CostBudgetExhausted { spent, budget } => write!(
                 f,
                 "cost budget exhausted ({spent:.1} of {budget:.1} units); result is partial"
+            ),
+            Degradation::SourcePanic { gates, message } => write!(
+                f,
+                "pulse source panicked on a {gates}-gate group ({message}); key quarantined"
+            ),
+            Degradation::StoreUnavailable { reason } => write!(
+                f,
+                "persistent pulse store unavailable ({reason}); running in-memory only"
             ),
         }
     }

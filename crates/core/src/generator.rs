@@ -14,7 +14,7 @@ use crate::error::{CompileError, Degradation};
 use crate::group::{GroupKind, GroupedCircuit};
 use crate::table::PulseTable;
 use paqoc_circuit::Instruction;
-use paqoc_device::{AnalyticModel, Device, PulseSource};
+use paqoc_device::{AnalyticModel, Device, PulseGenError, PulseSource};
 use paqoc_telemetry::{counter, event, observe, FieldValue};
 use std::time::Instant;
 
@@ -208,9 +208,17 @@ pub fn try_generate_customized_gates(
     let mut est_cache: std::collections::HashMap<(usize, usize), f64> =
         std::collections::HashMap::new();
 
+    // One compilation gets at most one DeadlineHit degradation and one
+    // `pipeline.deadline_hits` increment (same for the cost budget),
+    // whether the limit trips in the merge loop, the attach loop, or
+    // both — the flags are shared across the phases.
+    let mut budget_noted = false;
+    let mut deadline_noted = false;
+
     for _ in 0..opts.max_iterations {
         if let Some(deadline) = limits.deadline {
             if Instant::now() >= deadline {
+                deadline_noted = true;
                 counter("pipeline.deadline_hits", 1);
                 degradations.push(Degradation::DeadlineHit {
                     phase: "merge".to_string(),
@@ -222,6 +230,7 @@ pub fn try_generate_customized_gates(
         if let Some(budget) = limits.cost_budget_units {
             let spent = table.stats().cost_units;
             if spent >= budget {
+                budget_noted = true;
                 degradations.push(Degradation::CostBudgetExhausted { spent, budget });
                 partial = true;
                 break;
@@ -462,8 +471,6 @@ pub fn try_generate_customized_gates(
     // singletons, already-attached shapes re-attach through the table
     // cache for free, and the loop restarts. The multi-gate group count
     // strictly decreases per rollback, so the loop terminates.
-    let mut budget_noted = false;
-    let mut deadline_noted = false;
     'attach: loop {
         let mut rollback: Option<usize> = None;
         for id in grouped.group_ids() {
@@ -534,7 +541,16 @@ pub fn try_generate_customized_gates(
                     g.fidelity = pulse.fidelity;
                 }
                 Err(e) if grouped.group(id).instructions.len() > 1 => {
-                    // Rung 2: roll the merge back to per-gate pulses.
+                    // Rung 2: roll the merge back to per-gate pulses. A
+                    // caught panic gets its own degradation entry on top
+                    // of the rollback — callers triaging a batch need to
+                    // distinguish "would not converge" from "crashed".
+                    if let PulseGenError::SourcePanic { message, .. } = &e {
+                        degradations.push(Degradation::SourcePanic {
+                            gates: grouped.group(id).instructions.len(),
+                            message: message.clone(),
+                        });
+                    }
                     let g = grouped.group(id);
                     report.fallbacks += 1;
                     counter("generator.fallbacks", 1);
@@ -555,13 +571,27 @@ pub fn try_generate_customized_gates(
                 }
                 Err(e) => {
                     if !limits.allow_estimator_fallback {
-                        return Err(CompileError::PulseSource {
-                            source: e,
-                            gates: insts.len(),
+                        return Err(match e {
+                            PulseGenError::SourcePanic { message, .. } => {
+                                CompileError::SourcePanic {
+                                    gates: insts.len(),
+                                    message,
+                                }
+                            }
+                            other => CompileError::PulseSource {
+                                source: other,
+                                gates: insts.len(),
+                            },
                         });
                     }
                     // Rung 3: a singleton failed — keep the analytic
                     // estimate and record the concession.
+                    if let PulseGenError::SourcePanic { message, .. } = &e {
+                        degradations.push(Degradation::SourcePanic {
+                            gates: insts.len(),
+                            message: message.clone(),
+                        });
+                    }
                     report.estimator_fallbacks += 1;
                     counter("generator.fallbacks", 1);
                     degradations.push(Degradation::EstimatorFallback {

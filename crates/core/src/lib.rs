@@ -7,6 +7,13 @@
 //! [`compile`] pipeline (lower → SABRE map → mine APA basis → merge →
 //! pulses) with the paper's `M ∈ {0, tuned, inf}` presets.
 //!
+//! The pulse table is fingerprint-keyed ([`composite_key`]), panic-
+//! isolated (a crashing [`paqoc_device::PulseSource`] degrades instead
+//! of aborting — [`Degradation::SourcePanic`]), and optionally backed by
+//! the crash-safe persistent store in `paqoc-store` (set
+//! `PipelineOptions::pulse_db` or the `PAQOC_PULSE_DB` environment
+//! variable).
+//!
 //! ## Example
 //!
 //! ```
@@ -42,4 +49,4 @@ pub use group::{Group, GroupKind, GroupedCircuit};
 pub use pipeline::{
     compile, partition_is_acyclic, try_compile, CompilationResult, PipelineOptions,
 };
-pub use table::{group_key, CompileStats, PulseTable};
+pub use table::{composite_key, group_key, CompileStats, PulseTable};

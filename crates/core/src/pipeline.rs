@@ -58,6 +58,12 @@ pub struct PipelineOptions {
     /// analytic estimate (see
     /// [`GenerationLimits::allow_estimator_fallback`]).
     pub allow_estimator_fallback: bool,
+    /// Path of the persistent pulse store. `None` consults the
+    /// `PAQOC_PULSE_DB` environment variable; set it (or the variable)
+    /// to make pulse reuse survive process restarts. A store that fails
+    /// to open degrades to in-memory compilation with a
+    /// [`Degradation::StoreUnavailable`] entry — never an error.
+    pub pulse_db: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineOptions {
@@ -75,6 +81,7 @@ impl Default for PipelineOptions {
             min_esp: None,
             pulse_retries: 2,
             allow_estimator_fallback: true,
+            pulse_db: None,
         }
     }
 }
@@ -324,8 +331,29 @@ pub fn try_compile(
         GroupedCircuit::new(physical.instructions(), physical.num_qubits(), &partition);
     drop(group_span);
 
-    // 4. Criticality-aware customized gate generation + pulses.
+    // 4. Criticality-aware customized gate generation + pulses, over a
+    //    pulse table optionally backed by the persistent store.
     let mut table = PulseTable::new();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let db_path = opts.pulse_db.clone().or_else(|| {
+        std::env::var_os("PAQOC_PULSE_DB")
+            .filter(|v| !v.is_empty())
+            .map(std::path::PathBuf::from)
+    });
+    if let Some(path) = db_path {
+        match paqoc_store::PulseStore::open(&path, device.fingerprint()) {
+            Ok(store) => table.attach_store(store),
+            Err(e) => {
+                // Persistence is an accelerator, not a requirement:
+                // compile in-memory and record the concession.
+                counter("store.open_failures", 1);
+                paqoc_telemetry::event!("store.open_failed", error = e.to_string());
+                degradations.push(Degradation::StoreUnavailable {
+                    reason: e.to_string(),
+                });
+            }
+        }
+    }
     let gen_opts = if opts.enable_generator {
         opts.generator
     } else {
@@ -345,6 +373,15 @@ pub fn try_compile(
         let _s = span("generate");
         try_generate_customized_gates(&mut grouped, device, source, &mut table, &gen_opts, &limits)?
     };
+    degradations.extend(outcome.degradations);
+    // Write-behind flush: everything generated this run becomes durable
+    // before the result is returned.
+    if let Err(e) = table.sync_store() {
+        counter("store.sync_failures", 1);
+        degradations.push(Degradation::StoreUnavailable {
+            reason: format!("sync failed: {e}"),
+        });
+    }
 
     let esp = grouped.esp();
     if let Some(required) = opts.min_esp {
@@ -358,7 +395,7 @@ pub fn try_compile(
 
     let latency_ns = grouped.makespan_ns();
     if paqoc_telemetry::enabled() {
-        for d in &outcome.degradations {
+        for d in &degradations {
             paqoc_telemetry::event!("pipeline.degradation", detail = d.to_string());
         }
         paqoc_telemetry::event!(
@@ -369,8 +406,9 @@ pub fn try_compile(
             iterations = outcome.report.iterations as u64,
             pulses_generated = table.stats().pulses_generated as u64,
             cache_hits = table.stats().cache_hits as u64,
+            store_hits = table.stats().store_hits as u64,
             partial = outcome.partial,
-            degradations = outcome.degradations.len() as u64,
+            degradations = degradations.len() as u64,
         );
     }
     Ok(CompilationResult {
@@ -384,7 +422,7 @@ pub fn try_compile(
         grouped,
         wall_seconds: start.elapsed().as_secs_f64(),
         partial: outcome.partial,
-        degradations: outcome.degradations,
+        degradations,
     })
 }
 

@@ -5,24 +5,50 @@
 //! same qubits or permuted onto different ones — is generated exactly
 //! once. Misses are delegated to the [`PulseSource`] with warm starting
 //! enabled once the table has seen similar work.
+//!
+//! Two robustness layers sit around the source:
+//!
+//! * **Persistence** — an optional [`PulseStore`] behind the in-memory
+//!   map (read-through on miss, write-behind on success) makes pulse
+//!   reuse survive process restarts: a warm process performs zero
+//!   generations for groups any earlier run already solved.
+//! * **Panic isolation** — every source invocation runs under a
+//!   `catch_unwind` supervisor. A panicking optimization surfaces as
+//!   the typed [`PulseGenError::SourcePanic`] instead of killing the
+//!   batch; the panic aborts the retry ladder immediately (a
+//!   deterministic crash must not fire once per retry) and the
+//!   offending key is *quarantined*: anything later generated for it is
+//!   returned but never cached, in memory or on disk, so a poisoned
+//!   entry cannot outlive the incident.
+//!
+//! Every cache key — in-memory and persistent alike — is prefixed with
+//! the device fingerprint ([`Device::fingerprint`]), so two devices
+//! sharing a process (or a reloaded database) can never cross-contaminate
+//! each other's pulses.
 
 use paqoc_circuit::{combined_unitary, Circuit, Instruction};
 use paqoc_device::{Device, PulseEstimate, PulseGenError, PulseSource};
 use paqoc_math::{phase_aligned_distance, Matrix};
 use paqoc_mining::{canonical_code, CircuitGraph};
-use std::collections::{BTreeSet, HashMap};
+use paqoc_store::PulseStore;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Compile-cost accounting across a whole compilation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CompileStats {
     /// Pulses actually generated (table misses).
     pub pulses_generated: usize,
-    /// Table hits (free reuses).
+    /// Table hits (free reuses). Includes [`CompileStats::store_hits`].
     pub cache_hits: usize,
+    /// The subset of hits served from the persistent pulse store rather
+    /// than this process's own earlier work.
+    pub store_hits: usize,
     /// Total synthetic compile cost of the misses.
     pub cost_units: f64,
     /// Failed generation attempts that were retried.
     pub retries: usize,
+    /// Source panics caught by the supervisor (keys quarantined).
+    pub source_panics: usize,
 }
 
 impl CompileStats {
@@ -30,8 +56,10 @@ impl CompileStats {
     pub fn absorb(&mut self, other: CompileStats) {
         self.pulses_generated += other.pulses_generated;
         self.cache_hits += other.cache_hits;
+        self.store_hits += other.store_hits;
         self.cost_units += other.cost_units;
         self.retries += other.retries;
+        self.source_panics += other.source_panics;
     }
 }
 
@@ -43,6 +71,11 @@ pub struct PulseTable {
     /// similarity-based warm starting of new generations.
     unitaries: Vec<Matrix>,
     stats: CompileStats,
+    /// Optional persistent layer (read-through / write-behind).
+    store: Option<PulseStore>,
+    /// Composite keys whose generation has panicked: excluded from all
+    /// caching and from further source invocations.
+    quarantined: HashSet<String>,
 }
 
 /// Canonical key of a gate group: the mining canonical code of the
@@ -61,6 +94,25 @@ pub fn group_key(group: &[Instruction]) -> String {
     let graph = CircuitGraph::from_circuit(&c);
     let nodes: Vec<usize> = (0..graph.len()).collect();
     canonical_code(&graph, &nodes)
+}
+
+/// The full cache key: the device fingerprint prefixed onto the
+/// canonical group code. Both the in-memory table and the persistent
+/// store key by this, so pulses tuned for one device configuration can
+/// never be served to another.
+pub fn composite_key(device: &Device, group: &[Instruction]) -> String {
+    format!("{:016x}/{}", device.fingerprint(), group_key(group))
+}
+
+/// Best-effort string form of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Number of distinct qubits a group touches (its telemetry key).
@@ -127,7 +179,7 @@ impl PulseTable {
         target_fidelity: f64,
         max_retries: usize,
     ) -> Result<PulseEstimate, PulseGenError> {
-        let key = group_key(group);
+        let key = composite_key(device, group);
         if let Some(&hit) = self.entries.get(&key) {
             self.stats.cache_hits += 1;
             if paqoc_telemetry::enabled() {
@@ -141,6 +193,27 @@ impl PulseTable {
                 );
             }
             return Ok(hit);
+        }
+        // Read-through: a miss in this process may be a hit in the
+        // persistent store from an earlier run.
+        if let Some(store) = &self.store {
+            if let Some(hit) = store.get(&key) {
+                self.stats.cache_hits += 1;
+                self.stats.store_hits += 1;
+                self.entries.insert(key, hit);
+                if paqoc_telemetry::enabled() {
+                    paqoc_telemetry::counter("table.store_hit", 1);
+                    paqoc_telemetry::event!(
+                        "table.lookup",
+                        hit = true,
+                        persistent = true,
+                        arity = group_arity(group) as u64,
+                        gates = group.len() as u64,
+                        latency_ns = hit.latency_ns,
+                    );
+                }
+                return Ok(hit);
+            }
         }
         if paqoc_telemetry::enabled() {
             paqoc_telemetry::counter(&format!("table.cache_miss.q{}", group_arity(group)), 1);
@@ -165,14 +238,40 @@ impl PulseTable {
         } else {
             None
         };
+        let source_name = source.name();
         let mut last_err = None;
         for attempt in 0..=max_retries {
             if attempt > 0 {
                 self.stats.retries += 1;
                 paqoc_telemetry::counter("grape.retries", 1);
             }
-            match source.try_generate(group, device, target_fidelity, warm) {
-                Ok(estimate) => {
+            // The supervisor: a panicking optimization must degrade,
+            // not abort the batch. `AssertUnwindSafe` is sound here
+            // because on unwind we never touch the source again — the
+            // key is quarantined and the error propagates up the
+            // degradation ladder instead.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                source.try_generate(group, device, target_fidelity, warm)
+            }));
+            match outcome {
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    self.quarantined.insert(key.clone());
+                    self.stats.source_panics += 1;
+                    paqoc_telemetry::counter("table.source_panics", 1);
+                    paqoc_telemetry::event!(
+                        "table.source_panic",
+                        source = source_name,
+                        gates = group.len() as u64,
+                        arity = group_arity(group) as u64,
+                        message = message.clone(),
+                    );
+                    return Err(PulseGenError::SourcePanic {
+                        source: source_name.to_string(),
+                        message,
+                    });
+                }
+                Ok(Ok(estimate)) => {
                     self.stats.pulses_generated += 1;
                     self.stats.cost_units += estimate.cost_units;
                     // Miss provenance: what the generation cost, and how
@@ -187,10 +286,26 @@ impl PulseTable {
                         attempts = (attempt + 1) as u64,
                         warm_distance = warm.unwrap_or(-1.0),
                     );
-                    self.entries.insert(key, estimate);
+                    // A key that has ever panicked is poisoned: serve
+                    // the estimate but never cache it.
+                    if !self.quarantined.contains(&key) {
+                        if let Some(store) = &mut self.store {
+                            if let Err(e) = store.put(&key, estimate) {
+                                // Persistence is best-effort at this
+                                // layer: losing the write-behind must
+                                // not fail the compilation.
+                                paqoc_telemetry::counter("store.append_failures", 1);
+                                paqoc_telemetry::event!(
+                                    "store.append_failed",
+                                    error = e.to_string(),
+                                );
+                            }
+                        }
+                        self.entries.insert(key, estimate);
+                    }
                     return Ok(estimate);
                 }
-                Err(e) => last_err = Some(e),
+                Ok(Err(e)) => last_err = Some(e),
             }
         }
         Err(last_err.unwrap_or(PulseGenError::Convergence {
@@ -212,6 +327,42 @@ impl PulseTable {
     /// The accumulated cost accounting.
     pub fn stats(&self) -> CompileStats {
         self.stats
+    }
+
+    /// Attaches a persistent store as the read-through/write-behind
+    /// layer. The store's fingerprint binding happened at
+    /// [`PulseStore::open`]; keys here additionally carry the
+    /// fingerprint prefix, so even a mis-opened store cannot serve
+    /// foreign pulses.
+    pub fn attach_store(&mut self, store: PulseStore) {
+        self.store = Some(store);
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&PulseStore> {
+        self.store.as_ref()
+    }
+
+    /// Durably syncs the attached store (no-op without one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's fsync failure.
+    pub fn sync_store(&mut self) -> Result<(), paqoc_store::StoreError> {
+        match &mut self.store {
+            Some(store) => {
+                if store.should_compact() {
+                    store.compact()?;
+                }
+                store.sync()
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Keys currently quarantined after a source panic.
+    pub fn quarantined(&self) -> usize {
+        self.quarantined.len()
     }
 }
 
@@ -284,18 +435,163 @@ mod tests {
         let mut a = CompileStats {
             pulses_generated: 1,
             cache_hits: 2,
+            store_hits: 1,
             cost_units: 3.0,
             retries: 1,
+            source_panics: 1,
         };
         a.absorb(CompileStats {
             pulses_generated: 4,
             cache_hits: 5,
+            store_hits: 2,
             cost_units: 6.0,
             retries: 2,
+            source_panics: 3,
         });
         assert_eq!(a.pulses_generated, 5);
         assert_eq!(a.cache_hits, 7);
+        assert_eq!(a.store_hits, 3);
         assert!((a.cost_units - 9.0).abs() < 1e-12);
         assert_eq!(a.retries, 3);
+        assert_eq!(a.source_panics, 4);
+    }
+
+    #[test]
+    fn cache_keys_separate_devices() {
+        // The same canonical group on two different devices must be two
+        // different cache entries: pulses depend on the control limits.
+        let mut spec = *Device::grid5x5().spec();
+        spec.mu_max *= 2.0;
+        let fast = Device::new(Device::grid5x5().topology().clone(), spec);
+        let slow = Device::grid5x5();
+        let mut table = PulseTable::new();
+        let mut model = AnalyticModel::new();
+        let g = [inst(GateKind::Cx, &[0, 1])];
+        let on_slow = table.pulse_for(&g, &slow, &mut model, 0.999);
+        let on_fast = table.pulse_for(&g, &fast, &mut model, 0.999);
+        assert_eq!(table.stats().pulses_generated, 2, "no cross-device hit");
+        assert_eq!(table.stats().cache_hits, 0);
+        assert!(
+            on_fast.latency_ns < on_slow.latency_ns,
+            "doubled coupler limit must shorten the pulse"
+        );
+        // And each device still hits its own entry.
+        table.pulse_for(&g, &slow, &mut model, 0.999);
+        table.pulse_for(&g, &fast, &mut model, 0.999);
+        assert_eq!(table.stats().cache_hits, 2);
+    }
+
+    /// A source that panics on its first `n` calls, then recovers.
+    struct PanicsFirst {
+        remaining: usize,
+        inner: AnalyticModel,
+    }
+
+    impl PulseSource for PanicsFirst {
+        fn generate(
+            &mut self,
+            group: &[Instruction],
+            device: &Device,
+            target_fidelity: f64,
+            warm_start: Option<f64>,
+        ) -> PulseEstimate {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                panic!("synthetic optimizer crash");
+            }
+            self.inner
+                .generate(group, device, target_fidelity, warm_start)
+        }
+
+        fn typical_latency_ns(&self, num_qubits: usize, device: &Device) -> f64 {
+            self.inner.typical_latency_ns(num_qubits, device)
+        }
+
+        fn name(&self) -> &'static str {
+            "panics-first"
+        }
+    }
+
+    #[test]
+    fn panic_is_caught_typed_and_aborts_the_retry_ladder() {
+        let dev = Device::grid5x5();
+        let mut table = PulseTable::new();
+        let mut source = PanicsFirst {
+            remaining: 1,
+            inner: AnalyticModel::new(),
+        };
+        let g = [inst(GateKind::Cx, &[0, 1])];
+        // Plenty of retries available — the panic must consume none.
+        let err = table
+            .try_pulse_for(&g, &dev, &mut source, 0.999, 5)
+            .expect_err("first call panics");
+        match err {
+            PulseGenError::SourcePanic { source, message } => {
+                assert_eq!(source, "panics-first");
+                assert_eq!(message, "synthetic optimizer crash");
+            }
+            other => panic!("expected SourcePanic, got {other:?}"),
+        }
+        assert_eq!(table.stats().retries, 0, "no retry after a panic");
+        assert_eq!(table.stats().source_panics, 1);
+        assert_eq!(table.quarantined(), 1);
+    }
+
+    #[test]
+    fn quarantined_key_is_served_but_never_cached() {
+        let dev = Device::grid5x5();
+        let mut table = PulseTable::new();
+        let mut source = PanicsFirst {
+            remaining: 1,
+            inner: AnalyticModel::new(),
+        };
+        let g = [inst(GateKind::Cx, &[0, 1])];
+        assert!(table
+            .try_pulse_for(&g, &dev, &mut source, 0.999, 0)
+            .is_err());
+        // The source has recovered; the estimate is served…
+        let est = table
+            .try_pulse_for(&g, &dev, &mut source, 0.999, 0)
+            .expect("source recovered");
+        assert!(est.fidelity > 0.0);
+        // …but the poisoned key never enters the cache.
+        assert_eq!(table.len(), 0);
+        let again = table
+            .try_pulse_for(&g, &dev, &mut source, 0.999, 0)
+            .expect("regenerates");
+        assert_eq!(est, again);
+        assert_eq!(table.stats().cache_hits, 0);
+        assert_eq!(table.stats().pulses_generated, 2);
+    }
+
+    #[test]
+    fn store_round_trip_warm_starts_a_fresh_table() {
+        let dir = std::env::temp_dir().join(format!("paqoc-table-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("table_roundtrip.pqps");
+        let _ = std::fs::remove_file(&path);
+        let dev = Device::grid5x5();
+        let g = [inst(GateKind::Cx, &[0, 1])];
+        let cold = {
+            let mut table = PulseTable::new();
+            table.attach_store(
+                paqoc_store::PulseStore::open(&path, dev.fingerprint()).expect("open"),
+            );
+            let mut model = AnalyticModel::new();
+            let est = table.pulse_for(&g, &dev, &mut model, 0.999);
+            assert_eq!(table.stats().pulses_generated, 1);
+            table.sync_store().expect("sync");
+            est
+        };
+        // A brand-new table (new process, conceptually) backed by the
+        // same file serves the pulse without generating.
+        let mut table = PulseTable::new();
+        table.attach_store(paqoc_store::PulseStore::open(&path, dev.fingerprint()).expect("open"));
+        let mut model = AnalyticModel::new();
+        let warm = table.pulse_for(&g, &dev, &mut model, 0.999);
+        assert_eq!(cold, warm);
+        assert_eq!(table.stats().pulses_generated, 0);
+        assert_eq!(table.stats().cache_hits, 1);
+        assert_eq!(table.stats().store_hits, 1);
     }
 }

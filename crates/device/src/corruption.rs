@@ -1,0 +1,176 @@
+//! Byte-level corruption injectors for durability testing.
+//!
+//! The persistent pulse store claims to survive torn tails, flipped
+//! bits, stale fingerprints and mid-write crashes; these helpers let
+//! tests *manufacture* each of those conditions against a real file.
+//! They live in the device crate next to [`crate::FaultySource`] — the
+//! fault-injection layer — rather than in the store crate, so the store
+//! is tested through the same public byte surface any external
+//! corruption would hit, and so `paqoc-store` (which depends on this
+//! crate) needs no test-only reverse dependency.
+//!
+//! All helpers operate on raw bytes and know nothing about the store's
+//! record format; tests aim them using the store's published layout
+//! constants (`HEADER_LEN`, `record_len`).
+
+use paqoc_math::Rng;
+use std::io::Write;
+use std::path::Path;
+
+/// Flips one bit: bit `bit` (0–7) of the byte at `offset`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be read or
+/// rewritten; panics if `offset` is past the end of the file (that is a
+/// test bug, not a runtime condition).
+pub fn flip_bit(path: &Path, offset: u64, bit: u8) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let i = offset as usize;
+    assert!(
+        i < bytes.len(),
+        "flip_bit offset {i} past EOF {}",
+        bytes.len()
+    );
+    bytes[i] ^= 1 << (bit & 7);
+    std::fs::write(path, bytes)
+}
+
+/// Flips `count` bits at seeded-random positions anywhere after byte
+/// `skip` (pass the header length to spare the header, or 0 to allow
+/// hitting it too). Returns the `(offset, bit)` pairs flipped so a test
+/// can report exactly what it injected.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; panics when the file has no bytes
+/// after `skip` to corrupt.
+pub fn flip_random_bits(
+    path: &Path,
+    count: usize,
+    seed: u64,
+    skip: u64,
+) -> std::io::Result<Vec<(u64, u8)>> {
+    let mut bytes = std::fs::read(path)?;
+    let skip = skip as usize;
+    assert!(
+        bytes.len() > skip,
+        "file has only {} bytes, nothing after skip={skip}",
+        bytes.len()
+    );
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut flipped = Vec::with_capacity(count);
+    for _ in 0..count {
+        let offset = skip + (rng.next_u64() as usize) % (bytes.len() - skip);
+        let bit = (rng.next_u64() % 8) as u8;
+        bytes[offset] ^= 1 << bit;
+        flipped.push((offset as u64, bit));
+    }
+    std::fs::write(path, bytes)?;
+    Ok(flipped)
+}
+
+/// Truncates the last `tail_bytes` bytes off the file — a crash after a
+/// partial append, as seen by the next reader.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be opened or
+/// resized.
+pub fn truncate_tail(path: &Path, tail_bytes: u64) -> std::io::Result<()> {
+    let len = std::fs::metadata(path)?.len();
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(len.saturating_sub(tail_bytes))
+}
+
+/// Appends raw bytes — used to simulate a crash *mid-write*: append a
+/// prefix of a valid record (its framing header but only part of its
+/// payload) and the file looks exactly as it would after power loss
+/// between two `write` calls.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the file cannot be appended to.
+pub fn append_bytes(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new().append(true).open(path)?;
+    file.write_all(bytes)
+}
+
+/// Overwrites bytes in place at `offset` — used to plant a stale or
+/// foreign device fingerprint in a header, or to rewrite a length
+/// prefix with garbage.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error; panics when the write would extend
+/// past EOF (overwrite means overwrite, not grow).
+pub fn overwrite_bytes(path: &Path, offset: u64, replacement: &[u8]) -> std::io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let start = offset as usize;
+    assert!(
+        start + replacement.len() <= bytes.len(),
+        "overwrite [{start}, {}) past EOF {}",
+        start + replacement.len(),
+        bytes.len()
+    );
+    bytes[start..start + replacement.len()].copy_from_slice(replacement);
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("paqoc-corruption-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(name);
+        std::fs::write(&path, b"0123456789abcdef").expect("seed file");
+        path
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let path = tmp("flip.bin");
+        flip_bit(&path, 3, 0).expect("flip");
+        let bytes = std::fs::read(&path).expect("read");
+        assert_eq!(bytes[3], b'3' ^ 1);
+        assert_eq!(&bytes[..3], b"012");
+        assert_eq!(&bytes[4..], b"456789abcdef");
+    }
+
+    #[test]
+    fn flip_random_bits_is_seeded_and_spares_the_skip_region() {
+        let a = tmp("rand_a.bin");
+        let b = tmp("rand_b.bin");
+        let fa = flip_random_bits(&a, 8, 42, 4).expect("flip a");
+        let fb = flip_random_bits(&b, 8, 42, 4).expect("flip b");
+        assert_eq!(fa, fb, "same seed, same flips");
+        assert!(fa.iter().all(|&(off, _)| off >= 4));
+        assert_eq!(
+            std::fs::read(&a).expect("read"),
+            std::fs::read(&b).expect("read")
+        );
+        assert_eq!(&std::fs::read(&a).expect("read")[..4], b"0123");
+    }
+
+    #[test]
+    fn truncate_append_overwrite_do_what_they_say() {
+        let path = tmp("edit.bin");
+        truncate_tail(&path, 6).expect("truncate");
+        assert_eq!(std::fs::read(&path).expect("read"), b"0123456789");
+        append_bytes(&path, b"XY").expect("append");
+        assert_eq!(std::fs::read(&path).expect("read"), b"0123456789XY");
+        overwrite_bytes(&path, 1, b"..").expect("overwrite");
+        assert_eq!(std::fs::read(&path).expect("read"), b"0..3456789XY");
+    }
+
+    #[test]
+    fn truncating_more_than_the_file_empties_it() {
+        let path = tmp("over_truncate.bin");
+        truncate_tail(&path, 1000).expect("truncate");
+        assert!(std::fs::read(&path).expect("read").is_empty());
+    }
+}

@@ -11,7 +11,7 @@
 //! Injections are visible three ways: the returned estimates themselves,
 //! the [`FaultCounts`] tally on the wrapper, and telemetry counters
 //! (`faults.convergence`, `faults.nan`, `faults.latency_spike`,
-//! `faults.slow_call`) in the `paqoc-telemetry` report.
+//! `faults.slow_call`, `faults.panic`) in the `paqoc-telemetry` report.
 
 use crate::hamiltonian::Device;
 use crate::latency::{PulseEstimate, PulseSource};
@@ -41,6 +41,11 @@ pub struct FaultConfig {
     pub slow_call_rate: f64,
     /// Stall injected on a slow call.
     pub slow_call: Duration,
+    /// Probability that a generation **panics** mid-call — the crash
+    /// shape of a debug assertion or index bug deep in an optimizer.
+    /// Callers survive it only through the pulse table's `catch_unwind`
+    /// supervisor.
+    pub panic_rate: f64,
 }
 
 impl Default for FaultConfig {
@@ -53,6 +58,7 @@ impl Default for FaultConfig {
             latency_spike_factor: 10.0,
             slow_call_rate: 0.0,
             slow_call: Duration::from_millis(5),
+            panic_rate: 0.0,
         }
     }
 }
@@ -75,6 +81,15 @@ impl FaultConfig {
             ..FaultConfig::default()
         }
     }
+
+    /// A panic storm at the given per-call rate.
+    pub fn panic_storm(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            panic_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
 }
 
 /// Tally of the faults a [`FaultySource`] has injected so far.
@@ -88,6 +103,8 @@ pub struct FaultCounts {
     pub latency_spikes: u64,
     /// Slow calls injected.
     pub slow_calls: u64,
+    /// Panics injected.
+    pub panics: u64,
     /// Total generations that passed through untouched.
     pub clean_calls: u64,
 }
@@ -95,7 +112,7 @@ pub struct FaultCounts {
 impl FaultCounts {
     /// Total faults of any kind injected.
     pub fn total(&self) -> u64 {
-        self.convergence_failures + self.nans + self.latency_spikes + self.slow_calls
+        self.convergence_failures + self.nans + self.latency_spikes + self.slow_calls + self.panics
     }
 }
 
@@ -152,12 +169,20 @@ impl<S: PulseSource> PulseSource for FaultySource<S> {
         let nan = self.roll(self.cfg.nan_rate);
         let converge_fail = self.roll(self.cfg.convergence_failure_rate);
         let spike = self.roll(self.cfg.latency_spike_rate);
+        let panic_now = self.roll(self.cfg.panic_rate);
         let nan_in_latency = self.rng.random::<f64>() < 0.5;
 
         if slow {
             self.counts.slow_calls += 1;
             paqoc_telemetry::counter("faults.slow_call", 1);
             std::thread::sleep(self.cfg.slow_call);
+        }
+        if panic_now {
+            // Tally *before* unwinding so the injection is observable
+            // even though this call never returns normally.
+            self.counts.panics += 1;
+            paqoc_telemetry::counter("faults.panic", 1);
+            panic!("injected pulse-source panic");
         }
 
         let mut est = self
@@ -272,6 +297,19 @@ mod tests {
             fail.try_generate(&cx(), &dev, 0.999, None),
             Err(PulseGenError::Convergence { .. })
         ));
+    }
+
+    #[test]
+    fn panic_storm_panics_and_is_counted() {
+        let dev = Device::grid5x5();
+        let mut s = FaultySource::new(AnalyticModel::new(), FaultConfig::panic_storm(5, 1.0));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.generate(&cx(), &dev, 0.999, None)
+        }));
+        let err = caught.expect_err("panic storm at rate 1.0 must panic");
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "injected pulse-source panic");
+        assert_eq!(s.counts().panics, 1);
     }
 
     #[test]

@@ -154,6 +154,43 @@ impl Device {
         &self.spec
     }
 
+    /// A stable 64-bit fingerprint of everything that determines pulse
+    /// shapes on this device: the coupling topology and every
+    /// [`HardwareSpec`] field (by exact f64 bit pattern).
+    ///
+    /// Two devices with equal fingerprints produce identical pulses for
+    /// identical gate groups, so the fingerprint is the cache-safety key
+    /// for both the in-process pulse table and the persistent pulse
+    /// store: a store written under a different fingerprint must be
+    /// rejected, not reused. FNV-1a is used because the workspace is
+    /// dependency-free and the input is tiny and attacker-free.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        eat(&(self.topology.num_qubits() as u64).to_le_bytes());
+        for &(a, b) in self.topology.edges() {
+            eat(&(a as u64).to_le_bytes());
+            eat(&(b as u64).to_le_bytes());
+        }
+        for field in [
+            self.spec.mu_max,
+            self.spec.single_qubit_factor,
+            self.spec.dt_ns,
+            self.spec.t1_us,
+            self.spec.t2_us,
+        ] {
+            eat(&field.to_bits().to_le_bytes());
+        }
+        h
+    }
+
     /// Builds the control set for a group of *physical* qubits, relabeled
     /// to local indices `0..k` in the order given. Couplers are included
     /// for every topology edge internal to the group.
@@ -225,6 +262,17 @@ mod tests {
                 .count(),
             0
         );
+    }
+
+    #[test]
+    fn fingerprint_separates_topology_and_spec_changes() {
+        let base = Device::grid5x5();
+        assert_eq!(base.fingerprint(), Device::grid5x5().fingerprint());
+        assert_ne!(base.fingerprint(), Device::line(25).fingerprint());
+        let mut spec = HardwareSpec::transmon_xy();
+        spec.mu_max = 0.021;
+        let tweaked = Device::new(Topology::grid(5, 5), spec);
+        assert_ne!(base.fingerprint(), tweaked.fingerprint());
     }
 
     #[test]

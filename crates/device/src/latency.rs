@@ -74,6 +74,16 @@ pub enum PulseGenError {
         /// Human-readable description of the defect.
         detail: String,
     },
+    /// The source **panicked** mid-generation and was caught by the
+    /// pulse table's `catch_unwind` supervisor. Not retriable through
+    /// the normal ladder: the gate-group key is quarantined so a
+    /// deterministic crash cannot fire once per retry attempt.
+    SourcePanic {
+        /// Which source panicked.
+        source: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PulseGenError {
@@ -89,6 +99,9 @@ impl std::fmt::Display for PulseGenError {
                     f,
                     "pulse source '{source}' returned an invalid estimate: {detail}"
                 )
+            }
+            PulseGenError::SourcePanic { source, message } => {
+                write!(f, "pulse source '{source}' panicked: {message}")
             }
         }
     }

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod corruption;
 mod faults;
 mod hamiltonian;
 mod latency;

@@ -251,6 +251,18 @@ fn adam_loop(
         let total = &fwd[steps - 1];
         let overlap = target.dagger().matmul(total).trace();
         let fid = (overlap.norm_sqr() / (d * d)).min(1.0);
+        if !fid.is_finite() {
+            // A numerically diverged step (overflowed propagator, NaN in
+            // the gradient) would silently poison every remaining
+            // iteration — and the table's supervisor can only catch
+            // *panics*, not quiet NaN fixpoints. Abort the loop and
+            // return the best finite state instead.
+            paqoc_telemetry::counter("grape.nan_aborts", 1);
+            if let Some(b) = best_theta {
+                *theta = b;
+            }
+            return (best_fid, iter);
+        }
         if fid > best_fid {
             best_fid = fid;
             best_theta = Some(theta.clone());

@@ -25,6 +25,26 @@ struct CacheEntry {
 
 /// Pulse generation through real GRAPE optimization.
 ///
+/// # Unwind safety
+///
+/// `PulseTable` runs every source call under a `catch_unwind`
+/// supervisor, so this type must stay consistent if an optimization
+/// panics mid-call (the `optimize` dimension/steps asserts, or any
+/// numerical bug below them). The audit invariants:
+///
+/// * the pulse cache is only inserted into *after* a fully successful
+///   duration search — an unwind can never leave a partial or invalid
+///   [`CacheEntry`] behind;
+/// * `prior` ([`AnalyticModel`]) and `opts` are never mutated by
+///   `generate`/`try_generate`, so there is no torn intermediate state;
+/// * telemetry counters incremented before an unwind (`grape.retries`,
+///   `grape.cache_misses`) merely over-count attempts, which is the
+///   correct reading — the attempt did happen.
+///
+/// Keep it that way: any future mutable state added here must be
+/// written only on the success path (or be idempotent), or the
+/// supervisor's quarantine guarantee breaks.
+///
 /// # Examples
 ///
 /// ```

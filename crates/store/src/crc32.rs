@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven, computed at compile
+//! time. The workspace is dependency-free by policy, so the checksum
+//! behind every pulse-store record lives here rather than in a crate.
+
+/// Reflected IEEE polynomial (the one used by zip, PNG, Ethernet).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let clean = b"pulse-store record payload".to_vec();
+        let base = crc32(&clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut flipped = clean.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "byte {byte} bit {bit}");
+            }
+        }
+    }
+}

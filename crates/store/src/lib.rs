@@ -1,0 +1,671 @@
+//! # paqoc-store
+//!
+//! A crash-safe, append-only persistent pulse store. AccQOC's central
+//! acceleration is a pulse database built once and amortized across
+//! circuits; this crate makes that database durable across processes so
+//! a warm compilation performs **zero** pulse generations for shapes it
+//! has already seen.
+//!
+//! ## On-disk format (version 1)
+//!
+//! ```text
+//! header (20 bytes):
+//!   magic        b"PQPS"           4 bytes
+//!   version      u32 LE            4 bytes
+//!   fingerprint  u64 LE            8 bytes   device fingerprint, see below
+//!   header_crc   u32 LE            4 bytes   CRC-32 of the 16 bytes above
+//! record (repeated, append-only):
+//!   len          u32 LE            payload length in bytes
+//!   crc          u32 LE            CRC-32 of the payload
+//!   payload:
+//!     key_len    u32 LE
+//!     key        key_len bytes     UTF-8 canonical gate-group key
+//!     latency_ns f64 LE bits
+//!     latency_dt u64 LE
+//!     fidelity   f64 LE bits
+//!     cost_units f64 LE bits
+//! ```
+//!
+//! The header's `fingerprint` binds the file to one device configuration
+//! (Hamiltonian limits, topology, pulse discretization — see
+//! `Device::fingerprint`): a store written for a different device, format
+//! version or magic is **rejected and rotated to a fresh file** rather
+//! than silently reused, because a pulse tuned for one coupler limit is
+//! wrong on another.
+//!
+//! ## Crash safety and recovery
+//!
+//! Appends are length-prefixed and CRC-guarded, so loading tolerates:
+//!
+//! * a **torn tail** (a crash mid-append): the incomplete record is
+//!   truncated away;
+//! * **flipped bits**: a record whose CRC does not match is quarantined
+//!   (skipped) while later records still load;
+//! * **duplicate keys**: the last record wins, giving append-only
+//!   update semantics.
+//!
+//! Any recovery is journaled as a `store.recovered` telemetry event and
+//! immediately followed by a compaction, which rewrites the clean state
+//! through a temp file + atomic rename + fsync, so corruption never
+//! survives a second open.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod crc32;
+
+pub use crc32::crc32;
+
+use paqoc_device::PulseEstimate;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// File magic: "PaQoc Pulse Store".
+pub const MAGIC: [u8; 4] = *b"PQPS";
+/// Current on-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Size of the file header in bytes.
+pub const HEADER_LEN: usize = 20;
+/// Sanity cap on a single record's payload: anything larger is treated
+/// as corrupt framing (a flipped bit in a length prefix must not make
+/// the loader swallow the rest of the file as one giant record).
+pub const MAX_RECORD_LEN: usize = 1 << 20;
+
+/// Why a store file (or part of it) could not be used.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The file does not start with [`MAGIC`] or is shorter than a header.
+    BadHeader,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+    /// The file was written for a different device configuration.
+    Fingerprint {
+        /// Fingerprint found in the file.
+        found: u64,
+        /// Fingerprint of the opening device.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::BadHeader => write!(f, "missing or corrupt header"),
+            RejectReason::Version { found } => {
+                write!(f, "format version {found} (expected {FORMAT_VERSION})")
+            }
+            RejectReason::Fingerprint { found, expected } => write!(
+                f,
+                "device fingerprint {found:016x} (expected {expected:016x})"
+            ),
+        }
+    }
+}
+
+/// An I/O failure while opening, appending to or compacting a store.
+#[derive(Debug)]
+pub struct StoreError {
+    /// Operation that failed (`"open"`, `"append"`, `"compact"`, …).
+    pub op: &'static str,
+    /// The store path involved.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pulse store {} failed on {}: {}",
+            self.op,
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// What loading a store had to do to reach a clean state.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Well-formed records loaded (before last-wins dedup).
+    pub loaded: usize,
+    /// Corrupt records quarantined (CRC mismatch, bad framing, malformed
+    /// payload, out-of-range estimate).
+    pub quarantined: usize,
+    /// Bytes of torn tail truncated away.
+    pub torn_tail_bytes: u64,
+    /// Set when the whole file was rejected and rotated to a fresh one.
+    pub rejected: Option<RejectReason>,
+}
+
+impl RecoveryReport {
+    /// `true` when the loader had to repair, quarantine or reject
+    /// anything — i.e. the file was not already clean.
+    pub fn recovered(&self) -> bool {
+        self.quarantined > 0 || self.torn_tail_bytes > 0 || self.rejected.is_some()
+    }
+}
+
+/// Serializes one record (length prefix + CRC + payload) for `key`.
+pub fn encode_record(key: &str, est: &PulseEstimate) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(4 + key.len() + 32);
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key.as_bytes());
+    payload.extend_from_slice(&est.latency_ns.to_bits().to_le_bytes());
+    payload.extend_from_slice(&est.latency_dt.to_le_bytes());
+    payload.extend_from_slice(&est.fidelity.to_bits().to_le_bytes());
+    payload.extend_from_slice(&est.cost_units.to_bits().to_le_bytes());
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// On-disk size in bytes of the record for `key` (framing included).
+/// Useful for tests that aim corruption at a specific record.
+pub fn record_len(key: &str) -> usize {
+    8 + 4 + key.len() + 32
+}
+
+fn decode_payload(payload: &[u8]) -> Option<(String, PulseEstimate)> {
+    if payload.len() < 4 {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(payload[0..4].try_into().ok()?) as usize;
+    if payload.len() != 4 + key_len + 32 {
+        return None;
+    }
+    let key = std::str::from_utf8(&payload[4..4 + key_len])
+        .ok()?
+        .to_string();
+    let tail = &payload[4 + key_len..];
+    let f64_at = |i: usize| -> f64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&tail[i..i + 8]);
+        f64::from_bits(u64::from_le_bytes(b))
+    };
+    let u64_at = |i: usize| -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&tail[i..i + 8]);
+        u64::from_le_bytes(b)
+    };
+    let est = PulseEstimate {
+        latency_ns: f64_at(0),
+        latency_dt: u64_at(8),
+        fidelity: f64_at(16),
+        cost_units: f64_at(24),
+    };
+    Some((key, est))
+}
+
+fn encode_header(fingerprint: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&MAGIC);
+    h[4..8].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    h[8..16].copy_from_slice(&fingerprint.to_le_bytes());
+    let crc = crc32(&h[0..16]);
+    h[16..20].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// The persistent pulse store (see the module docs for format and
+/// recovery guarantees).
+///
+/// All loaded entries are kept in memory (a pulse record is ~100 bytes;
+/// even a million-pulse database is small), so [`PulseStore::get`] is a
+/// hash lookup and the file is only touched by appends and compaction.
+#[derive(Debug)]
+pub struct PulseStore {
+    path: PathBuf,
+    file: File,
+    entries: BTreeMap<String, PulseEstimate>,
+    fingerprint: u64,
+    recovery: RecoveryReport,
+    /// Records appended since the file was last known duplicate-free;
+    /// drives the advisory [`PulseStore::should_compact`].
+    stale_records: usize,
+}
+
+impl PulseStore {
+    /// Opens (or creates) the store at `path` for a device with the
+    /// given fingerprint.
+    ///
+    /// A file with a corrupt header, foreign magic, other format version
+    /// or different fingerprint is **rotated**: its contents are
+    /// discarded and a fresh store is started, with the rejection
+    /// recorded in [`PulseStore::recovery`] and journaled as a
+    /// `store.recovered` event. Torn tails and corrupt records are
+    /// repaired the same way (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] only for genuine I/O failures (permission,
+    /// missing parent directory, disk errors) — never for corruption,
+    /// which is always recoverable by construction.
+    pub fn open(path: impl Into<PathBuf>, fingerprint: u64) -> Result<Self, StoreError> {
+        let path = path.into();
+        let err = |op: &'static str, path: &Path| {
+            let path = path.to_path_buf();
+            move |source: std::io::Error| StoreError { op, path, source }
+        };
+
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(err("open", &path)(e)),
+        };
+
+        let mut recovery = RecoveryReport::default();
+        let mut entries: BTreeMap<String, PulseEstimate> = BTreeMap::new();
+
+        if !bytes.is_empty() {
+            match check_header(&bytes, fingerprint) {
+                Err(reason) => recovery.rejected = Some(reason),
+                Ok(()) => scan_records(&bytes, &mut entries, &mut recovery),
+            }
+        }
+
+        let fresh = bytes.is_empty() || recovery.rejected.is_some();
+        if fresh {
+            // Start (or restart) with a clean header. Rotation goes
+            // through the same atomic temp+rename path as compaction so
+            // a crash here can never leave a half-written header.
+            write_atomically(&path, fingerprint, &entries).map_err(err("create", &path))?;
+        } else if recovery.recovered() {
+            // Scrub quarantined records and the torn tail out of the
+            // file so corruption never survives a second open.
+            write_atomically(&path, fingerprint, &entries).map_err(err("recover", &path))?;
+        }
+
+        if recovery.recovered() {
+            paqoc_telemetry::counter("store.recovered", 1);
+            paqoc_telemetry::counter("store.quarantined_records", recovery.quarantined as u64);
+            paqoc_telemetry::event!(
+                "store.recovered",
+                path = path.display().to_string(),
+                loaded = recovery.loaded as u64,
+                quarantined = recovery.quarantined as u64,
+                torn_tail_bytes = recovery.torn_tail_bytes,
+                rejected = recovery
+                    .rejected
+                    .as_ref()
+                    .map(|r| r.to_string())
+                    .unwrap_or_default(),
+            );
+        }
+        paqoc_telemetry::counter("store.opens", 1);
+        paqoc_telemetry::counter("store.loaded_records", entries.len() as u64);
+
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(err("open", &path))?;
+        Ok(PulseStore {
+            path,
+            file,
+            entries,
+            fingerprint,
+            recovery,
+            stale_records: 0,
+        })
+    }
+
+    /// The store's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The device fingerprint this store is bound to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// What loading had to repair (all zeros/`None` for a clean open).
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Number of distinct pulses stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no pulses are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the stored estimate for a canonical key.
+    pub fn get(&self, key: &str) -> Option<PulseEstimate> {
+        self.entries.get(key).copied()
+    }
+
+    /// Iterates over all stored `(key, estimate)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PulseEstimate)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Appends (or overwrites) the estimate for `key`.
+    ///
+    /// Write-behind contract: the record is appended and flushed to the
+    /// OS immediately (a process crash loses nothing already `put`), but
+    /// durably fsynced only by [`PulseStore::sync`] or
+    /// [`PulseStore::compact`]. A `put` equal to the stored value is a
+    /// no-op so repeated warm runs do not grow the file.
+    ///
+    /// Ill-formed estimates (NaN/∞/out-of-range — see
+    /// [`PulseEstimate::is_well_formed`]) are rejected without touching
+    /// the file: the store can only ever serve estimates that passed the
+    /// same validation generation does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure; the in-memory view is not
+    /// updated in that case.
+    pub fn put(&mut self, key: &str, est: PulseEstimate) -> Result<(), StoreError> {
+        if !est.is_well_formed() {
+            paqoc_telemetry::counter("store.rejected_estimates", 1);
+            return Ok(());
+        }
+        if self.entries.get(key) == Some(&est) {
+            return Ok(());
+        }
+        let record = encode_record(key, &est);
+        self.file
+            .write_all(&record)
+            .and_then(|()| self.file.flush())
+            .map_err(|source| StoreError {
+                op: "append",
+                path: self.path.clone(),
+                source,
+            })?;
+        if self.entries.insert(key.to_string(), est).is_some() {
+            self.stale_records += 1;
+        }
+        paqoc_telemetry::counter("store.appends", 1);
+        Ok(())
+    }
+
+    /// Durably fsyncs all appended records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] when the fsync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_all().map_err(|source| StoreError {
+            op: "sync",
+            path: self.path.clone(),
+            source,
+        })
+    }
+
+    /// `true` when enough overwritten (duplicate-key) records have
+    /// accumulated that a [`PulseStore::compact`] would meaningfully
+    /// shrink the file.
+    pub fn should_compact(&self) -> bool {
+        self.stale_records > 64 && self.stale_records > self.entries.len()
+    }
+
+    /// Rewrites the store as one clean record per key, via a temp file,
+    /// an atomic rename and an fsync of file and directory — a crash at
+    /// any point leaves either the old file or the new one, never a
+    /// hybrid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on I/O failure; the previous file is left
+    /// untouched in that case.
+    pub fn compact(&mut self) -> Result<(), StoreError> {
+        write_atomically(&self.path, self.fingerprint, &self.entries).map_err(|source| {
+            StoreError {
+                op: "compact",
+                path: self.path.clone(),
+                source,
+            }
+        })?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|source| StoreError {
+                op: "compact",
+                path: self.path.clone(),
+                source,
+            })?;
+        self.stale_records = 0;
+        paqoc_telemetry::counter("store.compactions", 1);
+        Ok(())
+    }
+}
+
+fn check_header(bytes: &[u8], fingerprint: u64) -> Result<(), RejectReason> {
+    if bytes.len() < HEADER_LEN || bytes[0..4] != MAGIC {
+        return Err(RejectReason::BadHeader);
+    }
+    let stored_crc = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+    if crc32(&bytes[0..16]) != stored_crc {
+        return Err(RejectReason::BadHeader);
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(RejectReason::Version { found: version });
+    }
+    let found = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if found != fingerprint {
+        return Err(RejectReason::Fingerprint {
+            found,
+            expected: fingerprint,
+        });
+    }
+    Ok(())
+}
+
+fn scan_records(
+    bytes: &[u8],
+    entries: &mut BTreeMap<String, PulseEstimate>,
+    recovery: &mut RecoveryReport,
+) {
+    let mut offset = HEADER_LEN;
+    while offset < bytes.len() {
+        let remaining = bytes.len() - offset;
+        if remaining < 8 {
+            // A frame header cannot fit: torn tail.
+            recovery.torn_tail_bytes += remaining as u64;
+            return;
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_RECORD_LEN {
+            // The length prefix itself is implausible, so framing beyond
+            // this point cannot be trusted: quarantine the rest.
+            recovery.quarantined += 1;
+            recovery.torn_tail_bytes += remaining as u64;
+            return;
+        }
+        if remaining < 8 + len {
+            // Crash mid-append: the payload never fully landed.
+            recovery.torn_tail_bytes += remaining as u64;
+            return;
+        }
+        let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let payload = &bytes[offset + 8..offset + 8 + len];
+        offset += 8 + len;
+        if crc32(payload) != crc {
+            recovery.quarantined += 1;
+            continue;
+        }
+        match decode_payload(payload) {
+            Some((key, est)) if est.is_well_formed() => {
+                recovery.loaded += 1;
+                entries.insert(key, est); // duplicate keys: last wins
+            }
+            _ => recovery.quarantined += 1,
+        }
+    }
+}
+
+/// Writes header + one record per entry to `path.tmp`, fsyncs it,
+/// renames it over `path` and fsyncs the directory.
+fn write_atomically(
+    path: &Path,
+    fingerprint: u64,
+    entries: &BTreeMap<String, PulseEstimate>,
+) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&encode_header(fingerprint))?;
+        for (key, est) in entries {
+            f.write_all(&encode_record(key, est))?;
+        }
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    // Persist the rename itself. Directory fsync is best-effort: some
+    // filesystems refuse to open directories, and the rename alone is
+    // already atomic on every platform we target.
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("paqoc-store-unit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    fn est(latency_ns: f64) -> PulseEstimate {
+        PulseEstimate {
+            latency_ns,
+            latency_dt: (latency_ns / 0.125).ceil() as u64,
+            fidelity: 0.999,
+            cost_units: 1.5,
+        }
+    }
+
+    #[test]
+    fn roundtrips_across_reopen() {
+        let path = tmp("roundtrip.pqps");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = PulseStore::open(&path, 0xDEAD).expect("open");
+            assert!(s.is_empty());
+            s.put("cx", est(14.0)).expect("put");
+            s.put("h", est(5.0)).expect("put");
+            s.sync().expect("sync");
+        }
+        let s = PulseStore::open(&path, 0xDEAD).expect("reopen");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get("cx"), Some(est(14.0)));
+        assert_eq!(s.get("h"), Some(est(5.0)));
+        assert!(!s.recovery().recovered());
+    }
+
+    #[test]
+    fn duplicate_key_last_wins_and_compacts() {
+        let path = tmp("dup.pqps");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = PulseStore::open(&path, 1).expect("open");
+            s.put("k", est(10.0)).expect("put");
+            s.put("k", est(20.0)).expect("put");
+            s.put("k", est(30.0)).expect("put");
+            assert_eq!(s.len(), 1);
+            s.compact().expect("compact");
+        }
+        let size = std::fs::metadata(&path).expect("meta").len() as usize;
+        assert_eq!(size, HEADER_LEN + record_len("k"));
+        let s = PulseStore::open(&path, 1).expect("reopen");
+        assert_eq!(s.get("k"), Some(est(30.0)));
+    }
+
+    #[test]
+    fn identical_put_is_a_no_op_on_disk() {
+        let path = tmp("noop.pqps");
+        let _ = std::fs::remove_file(&path);
+        let mut s = PulseStore::open(&path, 1).expect("open");
+        s.put("k", est(10.0)).expect("put");
+        let size = std::fs::metadata(&path).expect("meta").len();
+        for _ in 0..5 {
+            s.put("k", est(10.0)).expect("put");
+        }
+        assert_eq!(std::fs::metadata(&path).expect("meta").len(), size);
+    }
+
+    #[test]
+    fn foreign_fingerprint_is_rejected_not_reused() {
+        let path = tmp("fp.pqps");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = PulseStore::open(&path, 0xAAAA).expect("open");
+            s.put("cx", est(14.0)).expect("put");
+        }
+        let s = PulseStore::open(&path, 0xBBBB).expect("reopen");
+        assert!(s.is_empty(), "stale cache must not be reused");
+        assert_eq!(
+            s.recovery().rejected,
+            Some(RejectReason::Fingerprint {
+                found: 0xAAAA,
+                expected: 0xBBBB
+            })
+        );
+        // The rotation is durable: reopening with the *new* fingerprint
+        // finds a clean, accepted file.
+        drop(s);
+        let s = PulseStore::open(&path, 0xBBBB).expect("third open");
+        assert!(s.recovery().rejected.is_none());
+    }
+
+    #[test]
+    fn foreign_magic_is_rejected() {
+        let path = tmp("magic.pqps");
+        std::fs::write(&path, b"not a pulse store at all").expect("write");
+        let s = PulseStore::open(&path, 7).expect("open");
+        assert!(s.is_empty());
+        assert_eq!(s.recovery().rejected, Some(RejectReason::BadHeader));
+    }
+
+    #[test]
+    fn ill_formed_estimates_never_enter_the_file() {
+        let path = tmp("nan.pqps");
+        let _ = std::fs::remove_file(&path);
+        let mut s = PulseStore::open(&path, 1).expect("open");
+        let mut bad = est(10.0);
+        bad.fidelity = f64::NAN;
+        s.put("nan", bad).expect("put");
+        assert!(s.get("nan").is_none());
+        assert_eq!(
+            std::fs::metadata(&path).expect("meta").len() as usize,
+            HEADER_LEN
+        );
+    }
+
+    #[test]
+    fn record_len_matches_encoding() {
+        let r = encode_record("some-key", &est(1.0));
+        assert_eq!(r.len(), record_len("some-key"));
+    }
+}

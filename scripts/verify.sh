@@ -14,6 +14,20 @@ echo "== bench --quick --check =="
 cargo run --release -p paqoc-bench --bin bench -- --quick --check \
     --out target/BENCH_pipeline_quick.json
 
+echo "== store corruption-injection suite =="
+cargo test -q -p paqoc-store --test corruption
+
+echo "== persistent store end-to-end (cold -> warm) =="
+cargo test -q --test pulse_store
+
+echo "== bench cold -> warm against a fresh pulse store =="
+PULSE_DB="target/verify_pulse_store.db"
+rm -f "$PULSE_DB"
+cargo run --release -p paqoc-bench --bin bench -- --quick \
+    --out target/BENCH_pipeline_cold.json --pulse-db "$PULSE_DB"
+cargo run --release -p paqoc-bench --bin bench -- --quick --check \
+    --out target/BENCH_pipeline_warm.json --pulse-db "$PULSE_DB" --expect-warm
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

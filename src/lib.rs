@@ -21,7 +21,11 @@
 //!   150-circuit observation corpus;
 //! * [`telemetry`] — zero-dependency phase spans, pipeline counters and
 //!   JSONL traces (enable with the `PAQOC_TRACE` environment variable
-//!   or `PipelineOptions::trace`).
+//!   or `PipelineOptions::trace`);
+//! * [`store`] — the crash-safe persistent pulse store behind
+//!   `PAQOC_PULSE_DB` / `PipelineOptions::pulse_db`: CRC-guarded
+//!   append-only records, device-fingerprinted headers, torn-tail and
+//!   corruption recovery.
 //!
 //! ## Quickstart
 //!
@@ -50,5 +54,6 @@ pub use paqoc_grape as grape;
 pub use paqoc_mapping as mapping;
 pub use paqoc_math as math;
 pub use paqoc_mining as mining;
+pub use paqoc_store as store;
 pub use paqoc_telemetry as telemetry;
 pub use paqoc_workloads as workloads;

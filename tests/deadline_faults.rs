@@ -1,0 +1,103 @@
+//! Deadline × fault-injection interaction: a pulse source that stalls
+//! (injected latency-spike/slow-call faults) must trip the compilation
+//! deadline into a *partial* result — every group still carries a valid
+//! estimate, including the group that was in flight when time ran out —
+//! and `pipeline.deadline_hits` must increment exactly once per
+//! compilation, no matter how many groups the deadline interrupts.
+//!
+//! Telemetry counters are process-global, so this lives in its own test
+//! binary (integration tests each get their own process) and runs the
+//! pipeline exactly once.
+
+use paqoc::circuit::Circuit;
+use paqoc::core::{try_compile, Degradation, PipelineOptions};
+use paqoc::device::{AnalyticModel, Device, FaultConfig, FaultySource};
+use paqoc::telemetry;
+use std::time::Duration;
+
+/// A chain of two-qubit phase gates with pairwise-distinct angles:
+/// every group is a distinct pulse-table key, so no cache hit can
+/// absorb a generation and every attach pays the injected stall.
+fn distinct_angle_chain(qubits: usize) -> Circuit {
+    let mut c = Circuit::new(qubits);
+    for i in 0..qubits - 1 {
+        c.cp(i, i + 1, 0.11 + 0.07 * i as f64);
+        c.rx(i, 0.23 + 0.05 * i as f64);
+    }
+    c
+}
+
+#[test]
+fn deadline_under_slow_faults_is_partial_complete_and_counted_once() {
+    telemetry::set_enabled(true);
+    telemetry::reset();
+
+    let device = Device::line(12);
+    let circuit = distinct_angle_chain(12);
+    // Every generation stalls 20 ms and spikes its reported latency;
+    // with ~22 distinct groups and a 100 ms deadline, search finishes
+    // comfortably, a handful of groups attach, then the clock runs out
+    // with groups still pending — the deadline lands mid-attachment.
+    let mut source = FaultySource::new(
+        AnalyticModel::new(),
+        FaultConfig {
+            slow_call_rate: 1.0,
+            slow_call: Duration::from_millis(20),
+            latency_spike_rate: 1.0,
+            latency_spike_factor: 4.0,
+            ..FaultConfig::default()
+        },
+    );
+    let opts = PipelineOptions {
+        deadline: Some(Duration::from_millis(100)),
+        skip_mapping: true,
+        ..PipelineOptions::m_inf()
+    };
+
+    let r = try_compile(&circuit, &device, &mut source, &opts)
+        .expect("a mid-run deadline degrades, it does not error");
+
+    assert!(r.partial, "deadline hit must mark the result partial");
+    assert!(source.counts().slow_calls > 0, "faults never fired");
+
+    // Exactly one DeadlineHit degradation, even though many groups were
+    // interrupted (regression: merge- and attach-phase hits used to be
+    // double-counted).
+    let hits: Vec<&Degradation> = r
+        .degradations
+        .iter()
+        .filter(|d| matches!(d, Degradation::DeadlineHit { .. }))
+        .collect();
+    assert_eq!(hits.len(), 1, "degradations: {:?}", r.degradations);
+
+    let snap = telemetry::snapshot();
+    assert_eq!(
+        snap.counters.get("pipeline.deadline_hits").copied(),
+        Some(1),
+        "pipeline.deadline_hits must increment exactly once"
+    );
+
+    // The in-flight and never-reached groups still carry usable
+    // (analytic) estimates: the schedule is complete and monotone.
+    assert!(r.latency_dt > 0);
+    assert!(r.esp.is_finite() && r.esp > 0.0);
+    for id in r.grouped.group_ids() {
+        let g = r.grouped.group(id);
+        assert!(
+            g.latency_ns > 0.0,
+            "group {id:?} has no latency in the partial result"
+        );
+        assert!(
+            g.fidelity > 0.0 && g.fidelity <= 1.0,
+            "group {id:?} fidelity {} invalid in the partial result",
+            g.fidelity
+        );
+    }
+    // Fewer pulses were generated than groups exist — proof the
+    // deadline actually cut work short rather than expiring after.
+    assert!(
+        (r.stats.pulses_generated as usize) < r.grouped.len(),
+        "deadline expired only after all {} groups attached",
+        r.grouped.len()
+    );
+}

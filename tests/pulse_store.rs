@@ -1,0 +1,215 @@
+//! End-to-end tests of the persistent pulse store through the pipeline:
+//! cold→warm double compilation of all 17 embedded benchmarks (the warm
+//! pass must perform **zero** pulse generations), warm-start of the real
+//! GRAPE source, panic-storm isolation, and graceful degradation when
+//! the store path is unusable.
+//!
+//! Every compilation in this binary passes an explicit
+//! `PipelineOptions::pulse_db` (or sets it to an unwritable path), so
+//! the one test that exercises the `PAQOC_PULSE_DB` environment
+//! fallback cannot contaminate its neighbours.
+
+use paqoc::circuit::Circuit;
+use paqoc::core::{try_compile, CompilationResult, Degradation, PipelineOptions};
+use paqoc::device::{AnalyticModel, Device, FaultConfig, FaultySource};
+use paqoc::grape::GrapeSource;
+use paqoc::workloads::all_benchmarks;
+use std::path::{Path, PathBuf};
+
+fn tmp_db(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paqoc-pulse-store-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn opts_with_db(db: PathBuf) -> PipelineOptions {
+    PipelineOptions {
+        pulse_db: Some(db),
+        ..PipelineOptions::m_inf()
+    }
+}
+
+fn compile_all(db: &Path) -> Vec<(&'static str, CompilationResult)> {
+    let device = Device::grid5x5();
+    let opts = opts_with_db(db.to_path_buf());
+    all_benchmarks()
+        .iter()
+        .map(|b| {
+            let circuit = (b.build)();
+            let mut source = AnalyticModel::new();
+            let r = try_compile(&circuit, &device, &mut source, &opts)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", b.name));
+            (b.name, r)
+        })
+        .collect()
+}
+
+/// The tentpole acceptance criterion: after one cold compilation of all
+/// 17 benchmarks, a second compilation of the same set performs zero
+/// pulse generations — every estimate is served from the store — and
+/// produces identical schedules.
+#[test]
+fn warm_pass_over_all_benchmarks_generates_zero_pulses() {
+    let db = tmp_db("warm_all.db");
+    let cold = compile_all(&db);
+    assert!(
+        cold.iter().any(|(_, r)| r.stats.pulses_generated > 0),
+        "cold pass should have generated at least one pulse"
+    );
+
+    let warm = compile_all(&db);
+    for ((name, c), (_, w)) in cold.iter().zip(&warm) {
+        assert_eq!(
+            w.stats.pulses_generated, 0,
+            "{name}: warm pass generated {} pulses",
+            w.stats.pulses_generated
+        );
+        assert!(
+            w.stats.store_hits > 0,
+            "{name}: warm pass never hit the store"
+        );
+        assert!(
+            w.degradations.is_empty(),
+            "{name}: warm pass degraded: {:?}",
+            w.degradations
+        );
+        assert_eq!(w.latency_dt, c.latency_dt, "{name}: warm latency differs");
+        assert_eq!(w.esp, c.esp, "{name}: warm esp differs");
+    }
+}
+
+/// Same criterion against the real optimizer: a fresh `GrapeSource`
+/// reading a warmed store performs zero GRAPE optimizations.
+#[test]
+fn warm_pass_skips_grape_entirely() {
+    let db = tmp_db("warm_grape.db");
+    let device = Device::line(3);
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).cx(1, 2).rz(2, 0.3);
+    let opts = PipelineOptions {
+        skip_mapping: true,
+        pulse_db: Some(db),
+        ..PipelineOptions::m0()
+    };
+
+    let mut cold_grape = GrapeSource::fast();
+    let cold = try_compile(&c, &device, &mut cold_grape, &opts).expect("cold compile");
+    assert!(cold.stats.pulses_generated > 0);
+    assert!(
+        cold_grape.cache_len() > 0,
+        "cold pass should have run GRAPE"
+    );
+
+    let mut warm_grape = GrapeSource::fast();
+    let warm = try_compile(&c, &device, &mut warm_grape, &opts).expect("warm compile");
+    assert_eq!(warm.stats.pulses_generated, 0);
+    assert_eq!(
+        warm_grape.cache_len(),
+        0,
+        "warm pass must not invoke GRAPE at all"
+    );
+    assert_eq!(warm.latency_dt, cold.latency_dt);
+}
+
+/// A pulse source that panics on every call must degrade — typed
+/// `Degradation::SourcePanic` entries, analytic estimates — not abort
+/// the process, and nothing it touched may be cached persistently.
+#[test]
+fn panic_storm_degrades_instead_of_aborting() {
+    let db = tmp_db("panic_storm.db");
+    let device = Device::grid5x5();
+    let circuit = (all_benchmarks()[0].build)();
+    let mut source = FaultySource::new(AnalyticModel::new(), FaultConfig::panic_storm(7, 1.0));
+    let r = try_compile(&circuit, &device, &mut source, &opts_with_db(db.clone()))
+        .expect("panic storm must not abort compilation");
+
+    assert!(r.stats.source_panics > 0, "no panic was recorded");
+    assert!(
+        r.degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::SourcePanic { .. })),
+        "degradations carry no SourcePanic: {:?}",
+        r.degradations
+    );
+    assert!(r.latency_dt > 0);
+    assert!(r.esp.is_finite());
+
+    // Nothing produced under panic quarantine may have been persisted:
+    // a later clean compilation must regenerate everything.
+    let mut clean = AnalyticModel::new();
+    let r2 = try_compile(&circuit, &device, &mut clean, &opts_with_db(db))
+        .expect("clean compile after storm");
+    assert_eq!(
+        r2.stats.store_hits, 0,
+        "quarantined pulses leaked into the store"
+    );
+}
+
+/// A store path that cannot be opened (here: an existing directory)
+/// degrades to in-memory compilation with a `StoreUnavailable` entry —
+/// never an error.
+#[test]
+fn unusable_store_path_degrades_to_in_memory() {
+    let dir = std::env::temp_dir().join(format!("paqoc-store-as-dir-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("dir");
+    let device = Device::grid5x5();
+    let circuit = (all_benchmarks()[0].build)();
+    let mut source = AnalyticModel::new();
+    let r = try_compile(&circuit, &device, &mut source, &opts_with_db(dir))
+        .expect("compile with unusable store");
+    assert!(
+        r.degradations
+            .iter()
+            .any(|d| matches!(d, Degradation::StoreUnavailable { .. })),
+        "expected StoreUnavailable, got {:?}",
+        r.degradations
+    );
+    assert!(
+        r.stats.pulses_generated > 0,
+        "must fall back to live generation"
+    );
+    assert_eq!(r.stats.store_hits, 0);
+}
+
+/// The `PAQOC_PULSE_DB` environment variable is the zero-code way to
+/// turn persistence on; `PipelineOptions::pulse_db = None` consults it.
+#[test]
+fn env_var_fallback_warm_starts() {
+    let db = tmp_db("env_fallback.db");
+    let device = Device::grid5x5();
+    let circuit = (all_benchmarks()[1].build)();
+    let opts = PipelineOptions::m_inf(); // pulse_db: None → env fallback
+    std::env::set_var("PAQOC_PULSE_DB", &db);
+
+    let mut s1 = AnalyticModel::new();
+    let cold = try_compile(&circuit, &device, &mut s1, &opts).expect("cold env compile");
+    let mut s2 = AnalyticModel::new();
+    let warm = try_compile(&circuit, &device, &mut s2, &opts).expect("warm env compile");
+    std::env::remove_var("PAQOC_PULSE_DB");
+
+    assert!(cold.stats.pulses_generated > 0);
+    assert_eq!(warm.stats.pulses_generated, 0);
+    assert!(warm.stats.store_hits > 0);
+}
+
+/// Two different devices sharing one logical workload must not share a
+/// store file: the second device's fingerprint rejects the first's
+/// records and rotates the file rather than serving wrong pulses.
+#[test]
+fn foreign_device_store_is_rotated_not_reused() {
+    let db = tmp_db("foreign_device.db");
+    let circuit = (all_benchmarks()[2].build)();
+
+    let grid = Device::grid5x5();
+    let mut s1 = AnalyticModel::new();
+    let r1 = try_compile(&circuit, &grid, &mut s1, &opts_with_db(db.clone())).expect("grid");
+    assert!(r1.stats.pulses_generated > 0);
+
+    let line = Device::line(25);
+    let mut s2 = AnalyticModel::new();
+    let r2 = try_compile(&circuit, &line, &mut s2, &opts_with_db(db)).expect("line");
+    assert_eq!(r2.stats.store_hits, 0, "foreign pulses must not be served");
+    assert!(r2.stats.pulses_generated > 0);
+}

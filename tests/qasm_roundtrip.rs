@@ -24,3 +24,53 @@ fn small_benchmark_roundtrip_preserves_unitary() {
     let f = trace_fidelity(&c.unitary(), &parsed.unitary());
     assert!(f > 1.0 - 1e-9, "fidelity {f}");
 }
+
+/// Seeded property test: the parser must be total. Random byte-prefixes
+/// of every benchmark's QASM — most of which cut a statement in half —
+/// and random in-place garbage mutations must come back as
+/// `Err(ParseQasmError)` or (when the damage happens to be benign) a
+/// parsed circuit, but **never** a panic. Regression cover for the
+/// reversed-bracket slice panics (`h ]q[0;`).
+#[test]
+fn truncated_and_garbled_qasm_never_panics() {
+    use paqoc::math::Rng;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let mut rng = Rng::seed_from_u64(0x9A5_1234);
+    // Bytes biased toward structural QASM characters so mutations hit
+    // the bracket/operand machinery, not just identifiers.
+    const NASTY: &[u8] = b"[]();,. qcx0123456789-";
+
+    for b in all_benchmarks() {
+        let text = to_qasm(&(b.build)());
+        let qreg_end = text.find(';').expect("qasm has statements");
+
+        for _ in 0..64 {
+            // Random prefix (never empty, can be the whole file).
+            let cut = 1 + (rng.next_u64() as usize) % text.len();
+            let prefix: String = text.chars().take(cut).collect();
+            let result = catch_unwind(AssertUnwindSafe(|| parse_qasm(&prefix)));
+            let result = result
+                .unwrap_or_else(|_| panic!("{}: parser panicked on prefix of {cut} chars", b.name));
+            if cut <= qreg_end {
+                assert!(
+                    result.is_err(),
+                    "{}: a prefix with no complete qreg parsed as Ok",
+                    b.name
+                );
+            }
+
+            // Garble 1–8 bytes of the full text in place (ASCII→ASCII
+            // substitutions keep it valid UTF-8).
+            let mut bytes = text.clone().into_bytes();
+            for _ in 0..1 + rng.next_u64() % 8 {
+                let at = (rng.next_u64() as usize) % bytes.len();
+                bytes[at] = NASTY[(rng.next_u64() as usize) % NASTY.len()];
+            }
+            let garbled = String::from_utf8(bytes).expect("ascii substitutions");
+            let _ = catch_unwind(AssertUnwindSafe(|| parse_qasm(&garbled))).unwrap_or_else(|_| {
+                panic!("{}: parser panicked on garbled input:\n{garbled}", b.name)
+            });
+        }
+    }
+}
