@@ -1,12 +1,14 @@
 //! The cross-PR perf-regression harness: runs the 17 embedded Table-I
-//! benchmarks through `try_compile` and writes `BENCH_pipeline.json` —
-//! per-benchmark wall time, latency, ESP, pulse-table hit rate, search
-//! iterations and degradation counts in a stable schema, so successive
-//! PRs can diff machine-readable perf trajectories instead of eyeballing
-//! stdout tables.
+//! benchmarks through `try_compile_batch` — concurrently, on a
+//! work-stealing pool — and writes `BENCH_pipeline.json`: per-benchmark
+//! wall time, latency, ESP, pulse-table hit rate, search iterations and
+//! degradation counts in a stable schema, so successive PRs can diff
+//! machine-readable perf trajectories instead of eyeballing stdout
+//! tables.
 //!
 //! Usage: `bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]
-//! [--pulse-db PATH] [--expect-warm]`
+//! [--pulse-db PATH] [--expect-warm] [--threads N] [--stable-dump PATH]
+//! [--min-speedup X]`
 //!
 //! * `--quick`    — 3-benchmark subset (CI smoke; same schema).
 //! * `--check`    — after writing, parse the file back with the in-tree
@@ -14,24 +16,48 @@
 //! * `--config`   — pipeline configuration (default `minf`, the paper's
 //!   cheapest-compile mode).
 //! * `--out`      — output path (default `BENCH_pipeline.json`).
-//! * `--pulse-db` — persistent pulse store path; a second (warm) run
-//!   against the same path serves every pulse from disk. The
-//!   `store_hits` column records how many lookups the store answered.
+//! * `--pulse-db` — persistent pulse store path. All concurrent
+//!   compilations pool one store-backed [`SharedPulseTable`] (the log is
+//!   single-handle); a second (warm) run against the same path serves
+//!   every pulse from it. The `store_hits` column records how many
+//!   lookups the store itself answered.
 //! * `--expect-warm` — assert the run was fully warm: zero pulses
-//!   generated and at least one store hit per benchmark (exit 1
-//!   otherwise). This is the cold→warm acceptance gate in
-//!   `scripts/verify.sh`.
+//!   generated per benchmark and at least one store hit across the
+//!   suite (exit 1 otherwise). Per-benchmark store hits are
+//!   schedule-dependent under concurrency — a benchmark may be served
+//!   from the shared shard layer a sibling compile already filled —
+//!   so only the generation count is gated per benchmark. This is the
+//!   cold→warm acceptance gate in `scripts/verify.sh`.
+//! * `--threads N` — worker count for the benchmark-level pool
+//!   (default: `PAQOC_THREADS`, then hardware parallelism). Inside each
+//!   compilation the executor runs single-threaded, so results are a
+//!   pure function of the input regardless of N.
+//! * `--stable-dump PATH` — also write a reduced JSON containing only
+//!   deterministic columns (no wall times, no `threads`). Without
+//!   `--pulse-db` (no state pooled between compiles) the dump is
+//!   byte-identical across `--threads` values — `scripts/verify.sh`
+//!   diffs a 1-thread run against a 4-thread run with `cmp`.
+//! * `--min-speedup X` — exit 1 unless `wall_speedup` (sum of
+//!   per-benchmark wall seconds over elapsed wall time, i.e. achieved
+//!   concurrency overlap) reaches X. Only meaningful with enough cores.
 
-use paqoc_core::{try_compile, CompilationResult, PipelineOptions};
-use paqoc_device::{AnalyticModel, Device};
+use paqoc_core::{try_compile_batch, CompilationResult, PipelineOptions};
+use paqoc_device::Device;
+use paqoc_exec::{
+    effective_threads, parallel_map, AnalyticFactory, PulseSourceFactory, SharedPulseTable,
+};
 use paqoc_telemetry::json::{self, Value};
 use paqoc_workloads::all_benchmarks;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Schema version; bump on any key change so trend tooling can gate.
 /// v2: added `store_hits` (persistent pulse-store hits) per benchmark.
-const SCHEMA_VERSION: u64 = 2;
+/// v3: benchmarks run concurrently via `try_compile_batch`; added
+/// top-level `threads` (pool width) and `wall_speedup` (sum of
+/// per-benchmark wall seconds / elapsed wall seconds).
+const SCHEMA_VERSION: u64 = 3;
 
 /// The `--quick` subset: the three fastest Table-I benchmarks, spanning
 /// a Toffoli network, an adder and an oracle family.
@@ -59,12 +85,14 @@ const BENCHMARK_KEYS: [&str; 17] = [
 ];
 
 /// Keys the top-level object must carry (asserted by `--check`).
-const TOP_KEYS: [&str; 5] = [
+const TOP_KEYS: [&str; 7] = [
     "schema_version",
     "config",
     "quick",
+    "threads",
     "benchmarks",
     "total_wall_seconds",
+    "wall_speedup",
 ];
 
 fn write_num(out: &mut String, v: f64) {
@@ -75,7 +103,9 @@ fn write_num(out: &mut String, v: f64) {
     }
 }
 
-fn benchmark_object(name: &str, r: &CompilationResult) -> String {
+/// One benchmark row. `stable_only` drops the schedule-dependent
+/// columns (`wall_seconds`, `store_hits`) for `--stable-dump`.
+fn benchmark_object(name: &str, r: &CompilationResult, stable_only: bool) -> String {
     let lookups = r.stats.cache_hits + r.stats.pulses_generated;
     let hit_rate = if lookups == 0 {
         0.0
@@ -85,8 +115,10 @@ fn benchmark_object(name: &str, r: &CompilationResult) -> String {
     let mut o = String::new();
     o.push_str("{\"name\":");
     o.push_str(&json::escape(name));
-    let _ = write!(o, ",\"wall_seconds\":");
-    write_num(&mut o, r.wall_seconds);
+    if !stable_only {
+        let _ = write!(o, ",\"wall_seconds\":");
+        write_num(&mut o, r.wall_seconds);
+    }
     o.push_str(",\"latency_ns\":");
     write_num(&mut o, r.latency_ns);
     let _ = write!(o, ",\"latency_dt\":{},\"esp\":", r.latency_dt);
@@ -100,9 +132,13 @@ fn benchmark_object(name: &str, r: &CompilationResult) -> String {
     write_num(&mut o, hit_rate);
     let _ = write!(
         o,
-        ",\"pulses_generated\":{},\"cache_hits\":{},\"store_hits\":{},\"cost_units\":",
-        r.stats.pulses_generated, r.stats.cache_hits, r.stats.store_hits
+        ",\"pulses_generated\":{},\"cache_hits\":{}",
+        r.stats.pulses_generated, r.stats.cache_hits
     );
+    if !stable_only {
+        let _ = write!(o, ",\"store_hits\":{}", r.stats.store_hits);
+    }
+    o.push_str(",\"cost_units\":");
     write_num(&mut o, r.stats.cost_units);
     let _ = write!(
         o,
@@ -149,6 +185,12 @@ fn main() {
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut pulse_db: Option<std::path::PathBuf> = None;
     let mut expect_warm = false;
+    let mut threads_flag: Option<usize> = None;
+    let mut stable_dump: Option<String> = None;
+    let mut min_speedup: Option<f64> = None;
+    let usage = "usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH] \
+                 [--pulse-db PATH] [--expect-warm] [--threads N] [--stable-dump PATH] \
+                 [--min-speedup X]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -164,12 +206,30 @@ fn main() {
                 }
             },
             "--expect-warm" => expect_warm = true,
+            "--threads" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n > 0 => threads_flag = Some(n),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            "--stable-dump" => match args.next() {
+                Some(p) if !p.is_empty() => stable_dump = Some(p),
+                _ => {
+                    eprintln!("--stable-dump requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--min-speedup" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(x) if x > 0.0 => min_speedup = Some(x),
+                _ => {
+                    eprintln!("--min-speedup requires a positive number");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument '{other}'");
-                eprintln!(
-                    "usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH] \
-                     [--pulse-db PATH] [--expect-warm]"
-                );
+                eprintln!("{usage}");
                 std::process::exit(2);
             }
         }
@@ -183,24 +243,48 @@ fn main() {
             std::process::exit(2);
         }
     };
-    opts.pulse_db = pulse_db;
+    let threads = effective_threads(threads_flag);
+    // Concurrency lives at the benchmark level; each compilation's inner
+    // executor stays single-threaded so per-benchmark results are a pure
+    // function of the input (the determinism the --stable-dump diff
+    // checks), and the pool is never oversubscribed threads × threads.
+    opts.threads = Some(1);
+    if let Some(path) = pulse_db {
+        // One store-backed shared table pools all compilations: the
+        // first compile to reach the store attaches it (attach_store is
+        // first-wins, so the open race between workers is benign).
+        opts.pulse_db = Some(path);
+        opts.shared_table = Some(Arc::new(SharedPulseTable::new()));
+    }
 
     let device = Device::grid5x5();
+    let benches: Vec<_> = all_benchmarks()
+        .into_iter()
+        .filter(|b| !quick || QUICK_SUBSET.contains(&b.name))
+        .collect();
     let started = Instant::now();
+    let results: Vec<(&'static str, Result<CompilationResult, String>)> =
+        parallel_map(benches, threads, |_, b| {
+            let circuit = (b.build)();
+            let factory: Arc<dyn PulseSourceFactory> = Arc::new(AnalyticFactory);
+            let outcome =
+                try_compile_batch(&circuit, &device, factory, &opts).map_err(|e| e.to_string());
+            (b.name, outcome)
+        });
+    let total_wall = started.elapsed().as_secs_f64();
+
     let mut rows: Vec<String> = Vec::new();
+    let mut stable_rows: Vec<String> = Vec::new();
     let mut failures = 0usize;
     let mut cold_benchmarks: Vec<&'static str> = Vec::new();
-    for b in all_benchmarks() {
-        if quick && !QUICK_SUBSET.contains(&b.name) {
-            continue;
-        }
-        let circuit = (b.build)();
-        let mut source = AnalyticModel::new();
-        match try_compile(&circuit, &device, &mut source, &opts) {
+    let mut serial_wall = 0.0f64;
+    let mut total_store_hits = 0usize;
+    for (name, outcome) in &results {
+        match outcome {
             Ok(result) => {
                 println!(
                     "bench: {:<14} {:>8.3}s  {:>8} dt  esp {:.4}  hits {}/{}  store {}  iters {}",
-                    b.name,
+                    name,
                     result.wall_seconds,
                     result.latency_dt,
                     result.esp,
@@ -209,38 +293,65 @@ fn main() {
                     result.stats.store_hits,
                     result.report.iterations
                 );
-                if result.stats.pulses_generated > 0 || result.stats.store_hits == 0 {
-                    cold_benchmarks.push(b.name);
+                if result.stats.pulses_generated > 0 {
+                    cold_benchmarks.push(name);
                 }
-                rows.push(benchmark_object(b.name, &result));
+                serial_wall += result.wall_seconds;
+                total_store_hits += result.stats.store_hits;
+                rows.push(benchmark_object(name, result, false));
+                stable_rows.push(benchmark_object(name, result, true));
             }
             Err(e) => {
-                eprintln!("bench: {} FAILED: {e}", b.name);
+                eprintln!("bench: {name} FAILED: {e}");
                 failures += 1;
-                cold_benchmarks.push(b.name);
+                cold_benchmarks.push(name);
             }
         }
     }
+    let wall_speedup = if total_wall > 0.0 {
+        serial_wall / total_wall
+    } else {
+        1.0
+    };
 
     let mut doc = String::new();
     let _ = write!(
         doc,
-        "{{\"schema_version\":{SCHEMA_VERSION},\"config\":{},\"quick\":{quick},\"benchmarks\":[",
+        "{{\"schema_version\":{SCHEMA_VERSION},\"config\":{},\"quick\":{quick},\
+         \"threads\":{threads},\"benchmarks\":[",
         json::escape(&format!("paqoc({config})"))
     );
     doc.push_str(&rows.join(","));
     doc.push_str("],\"total_wall_seconds\":");
-    write_num(&mut doc, started.elapsed().as_secs_f64());
+    write_num(&mut doc, total_wall);
+    doc.push_str(",\"wall_speedup\":");
+    write_num(&mut doc, wall_speedup);
     doc.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &doc) {
         eprintln!("bench: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
     println!(
-        "bench: wrote {out_path} ({} benchmarks, {:.1}s total)",
+        "bench: wrote {out_path} ({} benchmarks, {total_wall:.1}s total, {threads} threads, \
+         {wall_speedup:.2}x overlap)",
         rows.len(),
-        started.elapsed().as_secs_f64()
     );
+    if let Some(path) = stable_dump {
+        let mut sdoc = String::new();
+        let _ = write!(
+            sdoc,
+            "{{\"schema_version\":{SCHEMA_VERSION},\"config\":{},\"quick\":{quick},\
+             \"benchmarks\":[",
+            json::escape(&format!("paqoc({config})"))
+        );
+        sdoc.push_str(&stable_rows.join(","));
+        sdoc.push_str("]}\n");
+        if let Err(e) = std::fs::write(&path, &sdoc) {
+            eprintln!("bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("bench: wrote stable dump {path}");
+    }
 
     if check {
         let text = match std::fs::read_to_string(&out_path) {
@@ -259,17 +370,29 @@ fn main() {
         }
     }
     if expect_warm {
-        if cold_benchmarks.is_empty() {
-            println!("bench: warm-start check OK (every benchmark served from the pulse store)");
+        if cold_benchmarks.is_empty() && total_store_hits > 0 {
+            println!(
+                "bench: warm-start check OK (no pulses generated, {total_store_hits} store hits)"
+            );
         } else {
             eprintln!(
-                "bench: warm-start check FAILED: {} benchmark(s) generated pulses or missed \
-                 the store: {}",
+                "bench: warm-start check FAILED: {} benchmark(s) generated pulses ({}); \
+                 {total_store_hits} store hits across the suite",
                 cold_benchmarks.len(),
                 cold_benchmarks.join(", ")
             );
             std::process::exit(1);
         }
+    }
+    if let Some(min) = min_speedup {
+        if wall_speedup < min {
+            eprintln!(
+                "bench: speedup check FAILED: wall_speedup {wall_speedup:.2} < required {min:.2} \
+                 ({threads} threads)"
+            );
+            std::process::exit(1);
+        }
+        println!("bench: speedup check OK ({wall_speedup:.2}x >= {min:.2}x)");
     }
     if failures > 0 {
         std::process::exit(1);

@@ -15,8 +15,37 @@ use crate::group::{GroupKind, GroupedCircuit};
 use crate::table::PulseTable;
 use paqoc_circuit::Instruction;
 use paqoc_device::{AnalyticModel, Device, PulseGenError, PulseSource};
+use paqoc_exec::{run_batch, ExecOptions, PulseJob, PulseSourceFactory};
 use paqoc_telemetry::{counter, event, observe, FieldValue};
+use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Parallel-prefetch context for the attach phase: with one of these,
+/// the generator batch-generates every pending pulse of an attach sweep
+/// across the executor's worker pool before the sequential commit logic
+/// runs. Requires the table to carry a shared layer
+/// ([`PulseTable::attach_shared`]); without one the prefetch is a
+/// no-op and the generator stays fully sequential.
+#[derive(Clone)]
+pub struct BatchContext {
+    /// Builds one seeded source per job (see [`paqoc_exec::job_seed`]).
+    pub factory: Arc<dyn PulseSourceFactory>,
+    /// Worker count for each prefetch batch.
+    pub threads: usize,
+    /// Seed folded into every per-key job seed.
+    pub base_seed: u64,
+}
+
+impl std::fmt::Debug for BatchContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchContext")
+            .field("factory", &self.factory.name())
+            .field("threads", &self.threads)
+            .field("base_seed", &self.base_seed)
+            .finish()
+    }
+}
 
 /// Knobs of the customized-gates generator.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -170,6 +199,26 @@ pub fn try_generate_customized_gates(
     table: &mut PulseTable,
     opts: &PaqocOptions,
     limits: &GenerationLimits,
+) -> Result<GenerationOutcome, CompileError> {
+    try_generate_customized_gates_batched(grouped, device, source, table, opts, limits, None)
+}
+
+/// [`try_generate_customized_gates`] with an optional parallel-prefetch
+/// context: before each attach sweep, every pending pulse is generated
+/// as a [`PulseJob`] batch on the executor (deduped, panic-isolated,
+/// budget-shared), and the sweep then commits sequentially — hits are
+/// free, failures fall through to the unchanged degradation ladder. The
+/// per-key seeding keeps results bit-identical to the sequential path
+/// for deterministic sources.
+#[allow(clippy::too_many_arguments)]
+pub fn try_generate_customized_gates_batched(
+    grouped: &mut GroupedCircuit,
+    device: &Device,
+    source: &mut dyn PulseSource,
+    table: &mut PulseTable,
+    opts: &PaqocOptions,
+    limits: &GenerationLimits,
+    exec: Option<&BatchContext>,
 ) -> Result<GenerationOutcome, CompileError> {
     let mut report = GeneratorReport::default();
     let mut degradations: Vec<Degradation> = Vec::new();
@@ -472,6 +521,13 @@ pub fn try_generate_customized_gates(
     // cache for free, and the loop restarts. The multi-gate group count
     // strictly decreases per rollback, so the loop terminates.
     'attach: loop {
+        // Parallel prefetch: batch-generate every pending pulse of this
+        // sweep before the sequential commit pass touches it. After a
+        // rollback rebuild the sweep re-runs, and with it the prefetch
+        // (already-attached shapes are local hits and produce no jobs).
+        if let Some(ctx) = exec {
+            prefetch_pending_pulses(grouped, device, table, opts, limits, ctx);
+        }
         let mut rollback: Option<usize> = None;
         for id in grouped.group_ids() {
             if grouped.group(id).fidelity != 0.0 {
@@ -629,6 +685,56 @@ pub fn try_generate_customized_gates(
         degradations,
         partial,
     })
+}
+
+/// Batch-generates every pulse the coming attach sweep will need: one
+/// deduped [`PulseJob`] per pending group shape (fidelity-0 marker, no
+/// local table entry), priority = the group's predicted latency so the
+/// biggest pulses start first. Outcomes are folded into the table with
+/// exact sequential stats parity ([`PulseTable::absorb_batch`]);
+/// failures and budget skips are left for the sequential ladder, whose
+/// semantics are unchanged. A no-op when the table has no shared layer.
+fn prefetch_pending_pulses(
+    grouped: &GroupedCircuit,
+    device: &Device,
+    table: &mut PulseTable,
+    opts: &PaqocOptions,
+    limits: &GenerationLimits,
+    ctx: &BatchContext,
+) {
+    let Some(shared) = table.shared().cloned() else {
+        return;
+    };
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut jobs: Vec<PulseJob> = Vec::new();
+    for id in grouped.group_ids() {
+        let g = grouped.group(id);
+        if g.fidelity != 0.0 {
+            continue;
+        }
+        let key = table.key_for(device, &g.instructions);
+        if table.has_entry(&key) || !seen.insert(key.clone()) {
+            continue;
+        }
+        jobs.push(PulseJob {
+            key,
+            group: g.instructions.clone(),
+            priority: g.latency_ns,
+            target_fidelity: opts.target_fidelity,
+        });
+    }
+    if jobs.is_empty() {
+        return;
+    }
+    let exec_opts = ExecOptions {
+        threads: ctx.threads,
+        deadline: limits.deadline,
+        cost_budget_units: limits.cost_budget_units,
+        cost_spent_units: table.stats().cost_units,
+        base_seed: ctx.base_seed,
+    };
+    let report = run_batch(&jobs, device, ctx.factory.as_ref(), &shared, &exec_opts);
+    table.absorb_batch(&jobs, &report);
 }
 
 /// Rebuilds the grouped circuit with group `split_id` dissolved into

@@ -42,11 +42,13 @@ mod table;
 
 pub use error::{CompileError, Degradation};
 pub use generator::{
-    generate_customized_gates, try_generate_customized_gates, GenerationLimits, GenerationOutcome,
+    generate_customized_gates, try_generate_customized_gates,
+    try_generate_customized_gates_batched, BatchContext, GenerationLimits, GenerationOutcome,
     GeneratorReport, PaqocOptions,
 };
 pub use group::{Group, GroupKind, GroupedCircuit};
 pub use pipeline::{
-    compile, partition_is_acyclic, try_compile, CompilationResult, PipelineOptions,
+    compile, partition_is_acyclic, try_compile, try_compile_batch, CompilationResult,
+    PipelineOptions,
 };
-pub use table::{composite_key, group_key, CompileStats, PulseTable};
+pub use table::{composite_key, group_key, CompileStats, KeyPrefix, PulseTable};

@@ -6,17 +6,20 @@
 
 use crate::error::{CompileError, Degradation};
 use crate::generator::{
-    try_generate_customized_gates, GenerationLimits, GeneratorReport, PaqocOptions,
+    try_generate_customized_gates_batched, BatchContext, GenerationLimits, GeneratorReport,
+    PaqocOptions,
 };
 use crate::group::{GroupKind, GroupedCircuit};
 use crate::table::{CompileStats, PulseTable};
 use paqoc_circuit::{decompose, Basis, Circuit, Instruction};
-use paqoc_device::{Device, PulseSource};
+use paqoc_device::{Device, PulseEstimate, PulseSource};
+use paqoc_exec::{effective_threads, PulseSourceFactory, SharedPulseTable};
 use paqoc_mapping::{try_sabre_map, SabreOptions};
 use paqoc_mining::{
     mine_frequent_subcircuits, select_apa_basis, ApaBudget, ApaCover, MinerOptions,
 };
 use paqoc_telemetry::{counter, span};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Pipeline configuration.
@@ -64,6 +67,16 @@ pub struct PipelineOptions {
     /// to open degrades to in-memory compilation with a
     /// [`Degradation::StoreUnavailable`] entry — never an error.
     pub pulse_db: Option<std::path::PathBuf>,
+    /// Worker count for [`try_compile_batch`]. `None` consults the
+    /// `PAQOC_THREADS` environment variable, then hardware parallelism
+    /// (see [`effective_threads`]). Ignored by the sequential
+    /// [`try_compile`].
+    pub threads: Option<usize>,
+    /// A shared executor pulse table for [`try_compile_batch`],
+    /// letting concurrent compiles (the bench suite) pool pulses and a
+    /// single persistent-store handle. `None` gives each compile its
+    /// own fresh table. Ignored by the sequential [`try_compile`].
+    pub shared_table: Option<Arc<SharedPulseTable>>,
 }
 
 impl Default for PipelineOptions {
@@ -82,6 +95,8 @@ impl Default for PipelineOptions {
             pulse_retries: 2,
             allow_estimator_fallback: true,
             pulse_db: None,
+            threads: None,
+            shared_table: None,
         }
     }
 }
@@ -139,6 +154,10 @@ pub struct CompilationResult {
     pub partial: bool,
     /// Everything the compilation sacrificed to succeed, in order.
     pub degradations: Vec<Degradation>,
+    /// Deterministic dump of the compile's pulse table (sorted by
+    /// composite key) — the byte-comparable artifact the determinism
+    /// tests diff across thread counts.
+    pub pulse_table: Vec<(String, PulseEstimate)>,
 }
 
 impl CompilationResult {
@@ -203,6 +222,65 @@ pub fn try_compile(
     device: &Device,
     source: &mut dyn PulseSource,
     opts: &PipelineOptions,
+) -> Result<CompilationResult, CompileError> {
+    compile_inner(logical, device, source, opts, None)
+}
+
+/// Compiles with the attach phase parallelized on the executor.
+///
+/// Instead of one long-lived source, the caller hands a
+/// [`PulseSourceFactory`]: each attach sweep batch-generates its
+/// pending pulses as [`paqoc_exec::PulseJob`]s across
+/// [`PipelineOptions::threads`] workers (per-key seeded, deduped,
+/// panic-isolated — see `paqoc_exec`), and the existing sequential
+/// commit logic then consumes them as free hits. Failed jobs fall
+/// through to the unchanged sequential degradation ladder, driven by a
+/// factory-built fallback source.
+///
+/// Determinism contract: for a fixed input and factory, `threads = 1`
+/// and `threads = N` produce bit-identical pulses, latencies, ESP and
+/// stats — batch generations are pure functions of their job key.
+/// Deadline/cost-budget runs are exempt (which jobs a budget cuts off
+/// depends on the schedule, exactly as wall-clock deadlines already
+/// behave sequentially).
+///
+/// The persistent store, when configured, is owned by the shared table
+/// (one handle behind a mutex — the append-only log is not multi-handle
+/// safe) and flushed once per compile via its single-writer sync.
+pub fn try_compile_batch(
+    logical: &Circuit,
+    device: &Device,
+    factory: Arc<dyn PulseSourceFactory>,
+    opts: &PipelineOptions,
+) -> Result<CompilationResult, CompileError> {
+    let threads = effective_threads(opts.threads);
+    let shared = opts
+        .shared_table
+        .clone()
+        .unwrap_or_else(|| Arc::new(SharedPulseTable::new()));
+    let ctx = BatchContext {
+        factory: factory.clone(),
+        threads,
+        base_seed: 0,
+    };
+    // The ladder's fallback source: deterministic given the factory,
+    // shared across the sequential residue of all sweeps.
+    let mut fallback = factory.make(paqoc_exec::job_seed("sequential-fallback"));
+    compile_inner(
+        logical,
+        device,
+        fallback.as_mut(),
+        opts,
+        Some((ctx, shared)),
+    )
+}
+
+fn compile_inner(
+    logical: &Circuit,
+    device: &Device,
+    source: &mut dyn PulseSource,
+    opts: &PipelineOptions,
+    batch: Option<(BatchContext, Arc<SharedPulseTable>)>,
 ) -> Result<CompilationResult, CompileError> {
     let start = Instant::now();
     if opts.trace {
@@ -341,18 +419,35 @@ pub fn try_compile(
             .map(std::path::PathBuf::from)
     });
     if let Some(path) = db_path {
-        match paqoc_store::PulseStore::open(&path, device.fingerprint()) {
-            Ok(store) => table.attach_store(store),
-            Err(e) => {
-                // Persistence is an accelerator, not a requirement:
-                // compile in-memory and record the concession.
-                counter("store.open_failures", 1);
-                paqoc_telemetry::event!("store.open_failed", error = e.to_string());
-                degradations.push(Degradation::StoreUnavailable {
-                    reason: e.to_string(),
-                });
+        // In batch mode the persistent store belongs to the shared
+        // executor table (its log is single-handle; workers read through
+        // it and the write-behind sync is the one writer). An already
+        // store-backed shared table — the bench suite pooling compiles —
+        // keeps its handle.
+        let store_owner_has_one = batch
+            .as_ref()
+            .map(|(_, shared)| shared.has_store())
+            .unwrap_or(false);
+        if !store_owner_has_one {
+            match paqoc_store::PulseStore::open(&path, device.fingerprint()) {
+                Ok(store) => match &batch {
+                    Some((_, shared)) => shared.attach_store(store),
+                    None => table.attach_store(store),
+                },
+                Err(e) => {
+                    // Persistence is an accelerator, not a requirement:
+                    // compile in-memory and record the concession.
+                    counter("store.open_failures", 1);
+                    paqoc_telemetry::event!("store.open_failed", error = e.to_string());
+                    degradations.push(Degradation::StoreUnavailable {
+                        reason: e.to_string(),
+                    });
+                }
             }
         }
+    }
+    if let Some((_, shared)) = &batch {
+        table.attach_shared(shared.clone());
     }
     let gen_opts = if opts.enable_generator {
         opts.generator
@@ -371,12 +466,25 @@ pub fn try_compile(
     };
     let outcome = {
         let _s = span("generate");
-        try_generate_customized_gates(&mut grouped, device, source, &mut table, &gen_opts, &limits)?
+        try_generate_customized_gates_batched(
+            &mut grouped,
+            device,
+            source,
+            &mut table,
+            &gen_opts,
+            &limits,
+            batch.as_ref().map(|(ctx, _)| ctx),
+        )?
     };
     degradations.extend(outcome.degradations);
     // Write-behind flush: everything generated this run becomes durable
-    // before the result is returned.
-    if let Err(e) = table.sync_store() {
+    // before the result is returned. In batch mode the shared table owns
+    // the store handle and its single-writer sync drains all shards.
+    let flush = match &batch {
+        Some((_, shared)) => shared.sync().map(|_| ()),
+        None => table.sync_store(),
+    };
+    if let Err(e) = flush {
         counter("store.sync_failures", 1);
         degradations.push(Degradation::StoreUnavailable {
             reason: format!("sync failed: {e}"),
@@ -423,6 +531,7 @@ pub fn try_compile(
         wall_seconds: start.elapsed().as_secs_f64(),
         partial: outcome.partial,
         degradations,
+        pulse_table: table.dump_entries(),
     })
 }
 

@@ -28,10 +28,12 @@
 
 use paqoc_circuit::{combined_unitary, Circuit, Instruction};
 use paqoc_device::{Device, PulseEstimate, PulseGenError, PulseSource};
+use paqoc_exec::{BatchReport, JobStatus, Provenance, PulseJob, SharedPulseTable};
 use paqoc_math::{phase_aligned_distance, Matrix};
 use paqoc_mining::{canonical_code, CircuitGraph};
 use paqoc_store::PulseStore;
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Compile-cost accounting across a whole compilation.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -73,9 +75,57 @@ pub struct PulseTable {
     stats: CompileStats,
     /// Optional persistent layer (read-through / write-behind).
     store: Option<PulseStore>,
+    /// Optional cross-compile shared layer (the executor's sharded
+    /// cache). Consulted after a local miss, published to after a
+    /// successful generation; in batch mode it also owns the store
+    /// handle, since the append-only store is not multi-handle safe.
+    shared: Option<Arc<SharedPulseTable>>,
     /// Composite keys whose generation has panicked: excluded from all
     /// caching and from further source invocations.
     quarantined: HashSet<String>,
+    /// Cached `"<fingerprint>/"` prefix of the last device seen, so
+    /// hot-path key builds don't re-format the fingerprint each time.
+    prefix: Option<KeyPrefix>,
+    /// Keys whose first sequential lookup must count nothing: a batch
+    /// prefetch already accounted the generation/hit in
+    /// [`PulseTable::absorb_batch`], and the sequential path would
+    /// otherwise add a spurious cache hit — breaking stats parity
+    /// between `threads=1` and `threads=N`.
+    fresh: HashSet<String>,
+}
+
+/// Precomputed `"<fingerprint-hex>/"` composite-key prefix for one
+/// device — the fix for the historical hot-path behaviour of
+/// re-formatting the fingerprint on every [`composite_key`] call.
+#[derive(Clone, Debug)]
+pub struct KeyPrefix {
+    fingerprint: u64,
+    prefix: String,
+}
+
+impl KeyPrefix {
+    /// Builds the prefix for `device`.
+    pub fn new(device: &Device) -> Self {
+        let fingerprint = device.fingerprint();
+        KeyPrefix {
+            fingerprint,
+            prefix: format!("{fingerprint:016x}/"),
+        }
+    }
+
+    /// The fingerprint this prefix was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The full composite key for `group` on this prefix's device.
+    pub fn key(&self, group: &[Instruction]) -> String {
+        let code = group_key(group);
+        let mut key = String::with_capacity(self.prefix.len() + code.len());
+        key.push_str(&self.prefix);
+        key.push_str(&code);
+        key
+    }
 }
 
 /// Canonical key of a gate group: the mining canonical code of the
@@ -101,7 +151,7 @@ pub fn group_key(group: &[Instruction]) -> String {
 /// store key by this, so pulses tuned for one device configuration can
 /// never be served to another.
 pub fn composite_key(device: &Device, group: &[Instruction]) -> String {
-    format!("{:016x}/{}", device.fingerprint(), group_key(group))
+    KeyPrefix::new(device).key(group)
 }
 
 /// Best-effort string form of a panic payload.
@@ -179,8 +229,13 @@ impl PulseTable {
         target_fidelity: f64,
         max_retries: usize,
     ) -> Result<PulseEstimate, PulseGenError> {
-        let key = composite_key(device, group);
+        let key = self.key_for(device, group);
         if let Some(&hit) = self.entries.get(&key) {
+            if self.fresh.remove(&key) {
+                // First sequential touch of a batch-prefetched pulse:
+                // absorb_batch already accounted it, count nothing.
+                return Ok(hit);
+            }
             self.stats.cache_hits += 1;
             if paqoc_telemetry::enabled() {
                 paqoc_telemetry::counter(&format!("table.cache_hit.q{}", group_arity(group)), 1);
@@ -193,6 +248,26 @@ impl PulseTable {
                 );
             }
             return Ok(hit);
+        }
+        // Shared layer: a concurrent compile (or an earlier batch over
+        // the same executor table) may already hold this pulse.
+        if let Some(shared) = &self.shared {
+            if let Some(hit) = shared.get(&key) {
+                self.stats.cache_hits += 1;
+                self.entries.insert(key, hit);
+                if paqoc_telemetry::enabled() {
+                    paqoc_telemetry::counter("table.shared_hit", 1);
+                    paqoc_telemetry::event!(
+                        "table.lookup",
+                        hit = true,
+                        shared = true,
+                        arity = group_arity(group) as u64,
+                        gates = group.len() as u64,
+                        latency_ns = hit.latency_ns,
+                    );
+                }
+                return Ok(hit);
+            }
         }
         // Read-through: a miss in this process may be a hit in the
         // persistent store from an earlier run.
@@ -257,6 +332,11 @@ impl PulseTable {
                 Err(payload) => {
                     let message = panic_message(payload.as_ref());
                     self.quarantined.insert(key.clone());
+                    if let Some(shared) = &self.shared {
+                        // Propagate the quarantine so no concurrent
+                        // compile re-runs the deterministic crash.
+                        shared.quarantine(&key);
+                    }
                     self.stats.source_panics += 1;
                     paqoc_telemetry::counter("table.source_panics", 1);
                     paqoc_telemetry::event!(
@@ -289,6 +369,12 @@ impl PulseTable {
                     // A key that has ever panicked is poisoned: serve
                     // the estimate but never cache it.
                     if !self.quarantined.contains(&key) {
+                        if let Some(shared) = &self.shared {
+                            // Write-behind persistence runs through the
+                            // shared table in batch mode (it owns the
+                            // single store handle).
+                            shared.publish(&key, estimate);
+                        }
                         if let Some(store) = &mut self.store {
                             if let Err(e) = store.put(&key, estimate) {
                                 // Persistence is best-effort at this
@@ -363,6 +449,87 @@ impl PulseTable {
     /// Keys currently quarantined after a source panic.
     pub fn quarantined(&self) -> usize {
         self.quarantined.len()
+    }
+
+    /// The composite key for `group` on `device`, served from the
+    /// cached per-table [`KeyPrefix`] so the fingerprint prefix is
+    /// formatted once per device, not once per lookup.
+    pub fn key_for(&mut self, device: &Device, group: &[Instruction]) -> String {
+        let fingerprint = device.fingerprint();
+        if !matches!(&self.prefix, Some(p) if p.fingerprint() == fingerprint) {
+            self.prefix = Some(KeyPrefix::new(device));
+        }
+        match &self.prefix {
+            Some(p) => p.key(group),
+            None => composite_key(device, group),
+        }
+    }
+
+    /// Attaches the executor's shared pulse table as a cross-compile
+    /// layer: consulted after a local miss, published to on success,
+    /// quarantine-propagated on panic. In batch mode the shared table
+    /// also owns the persistent store handle (see
+    /// [`SharedPulseTable::sync`]), so don't *also* attach a local
+    /// store for the same file.
+    pub fn attach_shared(&mut self, shared: Arc<SharedPulseTable>) {
+        self.shared = Some(shared);
+    }
+
+    /// The attached shared layer, if any.
+    pub fn shared(&self) -> Option<&Arc<SharedPulseTable>> {
+        self.shared.as_ref()
+    }
+
+    /// `true` when the local (in-process) layer holds `key`.
+    pub fn has_entry(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Folds a batch-prefetch report into this table, preserving exact
+    /// stats parity with the sequential path: each outcome is counted
+    /// once, exactly as the sequential first touch of that key would
+    /// have counted it, and the key is marked *fresh* so the following
+    /// sequential lookup counts nothing.
+    pub fn absorb_batch(&mut self, jobs: &[PulseJob], report: &BatchReport) {
+        for (job, status) in jobs.iter().zip(&report.statuses) {
+            match status {
+                JobStatus::Generated(est) => {
+                    self.stats.pulses_generated += 1;
+                    self.stats.cost_units += est.cost_units;
+                    self.entries.insert(job.key.clone(), *est);
+                    self.fresh.insert(job.key.clone());
+                }
+                JobStatus::Hit(est, Provenance::Store) => {
+                    self.stats.cache_hits += 1;
+                    self.stats.store_hits += 1;
+                    self.entries.insert(job.key.clone(), *est);
+                    self.fresh.insert(job.key.clone());
+                }
+                JobStatus::Hit(est, _) | JobStatus::Deduped(est) => {
+                    self.stats.cache_hits += 1;
+                    self.entries.insert(job.key.clone(), *est);
+                    self.fresh.insert(job.key.clone());
+                }
+                JobStatus::Panicked(_) => {
+                    self.stats.source_panics += 1;
+                    self.quarantined.insert(job.key.clone());
+                }
+                JobStatus::Failed(_) | JobStatus::Skipped(_) => {
+                    // Falls through to the sequential ladder, which
+                    // does its own accounting (retries, degradations).
+                }
+            }
+        }
+    }
+
+    /// Deterministic dump of every cached pulse, sorted by composite
+    /// key — the byte-comparable artifact the determinism tests diff
+    /// across thread counts.
+    pub fn dump_entries(&self) -> Vec<(String, PulseEstimate)> {
+        let mut all: Vec<(String, PulseEstimate)> =
+            self.entries.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 }
 

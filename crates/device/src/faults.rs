@@ -11,7 +11,8 @@
 //! Injections are visible three ways: the returned estimates themselves,
 //! the [`FaultCounts`] tally on the wrapper, and telemetry counters
 //! (`faults.convergence`, `faults.nan`, `faults.latency_spike`,
-//! `faults.slow_call`, `faults.panic`) in the `paqoc-telemetry` report.
+//! `faults.slow_call`, `faults.panic`, `faults.stall`) in the
+//! `paqoc-telemetry` report.
 
 use crate::hamiltonian::Device;
 use crate::latency::{PulseEstimate, PulseSource};
@@ -46,7 +47,17 @@ pub struct FaultConfig {
     /// Callers survive it only through the pulse table's `catch_unwind`
     /// supervisor.
     pub panic_rate: f64,
+    /// Deterministic stall injected on **every** generation (zero
+    /// disables it), bounded at [`STALL_CAP`]. Unlike the probabilistic
+    /// [`FaultConfig::slow_call_rate`], the stall is unconditional, so
+    /// executor tests get a *predictable* slow worker to race against
+    /// deadlines and fast peers.
+    pub stall: Duration,
 }
+
+/// Hard ceiling on [`FaultConfig::stall`]: a misconfigured fault
+/// injection must slow a test down, never hang it.
+pub const STALL_CAP: Duration = Duration::from_millis(500);
 
 impl Default for FaultConfig {
     fn default() -> Self {
@@ -59,6 +70,7 @@ impl Default for FaultConfig {
             slow_call_rate: 0.0,
             slow_call: Duration::from_millis(5),
             panic_rate: 0.0,
+            stall: Duration::ZERO,
         }
     }
 }
@@ -90,6 +102,16 @@ impl FaultConfig {
             ..FaultConfig::default()
         }
     }
+
+    /// An unconditional per-call stall (bounded at [`STALL_CAP`]): every
+    /// generation sleeps `stall` before answering. The deterministic
+    /// slow-worker shape for executor deadline tests.
+    pub fn stalling(stall: Duration) -> Self {
+        FaultConfig {
+            stall,
+            ..FaultConfig::default()
+        }
+    }
 }
 
 /// Tally of the faults a [`FaultySource`] has injected so far.
@@ -105,6 +127,8 @@ pub struct FaultCounts {
     pub slow_calls: u64,
     /// Panics injected.
     pub panics: u64,
+    /// Unconditional stalls injected ([`FaultConfig::stall`]).
+    pub stalls: u64,
     /// Total generations that passed through untouched.
     pub clean_calls: u64,
 }
@@ -112,7 +136,12 @@ pub struct FaultCounts {
 impl FaultCounts {
     /// Total faults of any kind injected.
     pub fn total(&self) -> u64 {
-        self.convergence_failures + self.nans + self.latency_spikes + self.slow_calls + self.panics
+        self.convergence_failures
+            + self.nans
+            + self.latency_spikes
+            + self.slow_calls
+            + self.panics
+            + self.stalls
     }
 }
 
@@ -172,6 +201,11 @@ impl<S: PulseSource> PulseSource for FaultySource<S> {
         let panic_now = self.roll(self.cfg.panic_rate);
         let nan_in_latency = self.rng.random::<f64>() < 0.5;
 
+        if !self.cfg.stall.is_zero() {
+            self.counts.stalls += 1;
+            paqoc_telemetry::counter("faults.stall", 1);
+            std::thread::sleep(self.cfg.stall.min(STALL_CAP));
+        }
         if slow {
             self.counts.slow_calls += 1;
             paqoc_telemetry::counter("faults.slow_call", 1);
@@ -310,6 +344,36 @@ mod tests {
         let msg = err.downcast_ref::<&str>().copied().unwrap_or("");
         assert_eq!(msg, "injected pulse-source panic");
         assert_eq!(s.counts().panics, 1);
+    }
+
+    #[test]
+    fn stall_is_bounded_counted_and_result_preserving() {
+        let dev = Device::grid5x5();
+        let mut clean = AnalyticModel::new();
+        let base = clean.generate(&cx(), &dev, 0.999, None);
+        let mut s = FaultySource::new(
+            AnalyticModel::new(),
+            FaultConfig::stalling(Duration::from_millis(5)),
+        );
+        let t0 = std::time::Instant::now();
+        let est = s.generate(&cx(), &dev, 0.999, None);
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(5),
+            "stall not applied: {elapsed:?}"
+        );
+        assert_eq!(s.counts().stalls, 1);
+        assert_eq!(s.counts().total(), 1);
+        // A stall delays generation but must not alter the estimate itself.
+        assert!((est.latency_ns - base.latency_ns).abs() < 1e-12);
+        assert!((est.fidelity - base.fidelity).abs() < 1e-12);
+        // Requests beyond the cap are clamped — a 1-hour stall sleeps at most STALL_CAP.
+        assert_eq!(
+            FaultConfig::stalling(Duration::from_secs(3600))
+                .stall
+                .min(STALL_CAP),
+            STALL_CAP
+        );
     }
 
     #[test]

@@ -126,12 +126,48 @@ pub fn transmon_xy_controls(
 pub struct Device {
     topology: Topology,
     spec: HardwareSpec,
+    /// Cached [`Device::fingerprint`], computed once at construction:
+    /// the pulse table asks for it on every hot-path key build, and
+    /// re-hashing the full edge list there is measurable.
+    fingerprint: u64,
+}
+
+fn compute_fingerprint(topology: &Topology, spec: &HardwareSpec) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(&(topology.num_qubits() as u64).to_le_bytes());
+    for &(a, b) in topology.edges() {
+        eat(&(a as u64).to_le_bytes());
+        eat(&(b as u64).to_le_bytes());
+    }
+    for field in [
+        spec.mu_max,
+        spec.single_qubit_factor,
+        spec.dt_ns,
+        spec.t1_us,
+        spec.t2_us,
+    ] {
+        eat(&field.to_bits().to_le_bytes());
+    }
+    h
 }
 
 impl Device {
     /// Creates a device from a topology and hardware spec.
     pub fn new(topology: Topology, spec: HardwareSpec) -> Self {
-        Device { topology, spec }
+        let fingerprint = compute_fingerprint(&topology, &spec);
+        Device {
+            topology,
+            spec,
+            fingerprint,
+        }
     }
 
     /// The paper's evaluation platform: 5×5 grid, transmon-XY limits.
@@ -164,31 +200,11 @@ impl Device {
     /// store: a store written under a different fingerprint must be
     /// rejected, not reused. FNV-1a is used because the workspace is
     /// dependency-free and the input is tiny and attacker-free.
+    ///
+    /// Computed once at construction and served from a field, so
+    /// per-lookup cache-key builds pay a load, not an edge-list hash.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(PRIME);
-            }
-        };
-        eat(&(self.topology.num_qubits() as u64).to_le_bytes());
-        for &(a, b) in self.topology.edges() {
-            eat(&(a as u64).to_le_bytes());
-            eat(&(b as u64).to_le_bytes());
-        }
-        for field in [
-            self.spec.mu_max,
-            self.spec.single_qubit_factor,
-            self.spec.dt_ns,
-            self.spec.t1_us,
-            self.spec.t2_us,
-        ] {
-            eat(&field.to_bits().to_le_bytes());
-        }
-        h
+        self.fingerprint
     }
 
     /// Builds the control set for a group of *physical* qubits, relabeled

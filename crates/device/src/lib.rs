@@ -30,7 +30,7 @@ mod latency;
 mod spec;
 mod topology;
 
-pub use faults::{FaultConfig, FaultCounts, FaultySource};
+pub use faults::{FaultConfig, FaultCounts, FaultySource, STALL_CAP};
 pub use hamiltonian::{transmon_xy_controls, ControlChannel, ControlSet, Device};
 pub use latency::{validate_estimate, AnalyticModel, PulseEstimate, PulseGenError, PulseSource};
 pub use spec::HardwareSpec;

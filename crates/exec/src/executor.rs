@@ -1,0 +1,468 @@
+//! The work-stealing batch executor.
+//!
+//! [`run_batch`] takes a set of [`PulseJob`]s — independent gate groups
+//! whose pulses a criticality-search iteration (or a benchmark sweep)
+//! will need — and generates them across `threads` std workers. Jobs
+//! are sorted by descending priority (predicted latency delta: the
+//! biggest candidate first, mirroring the paper's top-k ordering) and
+//! dealt round-robin into per-worker deques; a worker pops its own
+//! front and steals from victims' backs, so long GRAPE runs start early
+//! and stragglers are balanced without a global queue lock.
+//!
+//! Determinism: each generation uses a fresh source from the
+//! [`PulseSourceFactory`](crate::PulseSourceFactory), seeded by
+//! [`job_seed`](crate::job_seed) of the key, with no warm start — the
+//! pulse is a pure function of the job, so `threads=1` and `threads=N`
+//! produce bit-identical tables. Deadline/cost-budget runs are the
+//! documented exception: which jobs get skipped depends on the
+//! schedule, exactly as wall-clock deadlines already behave in the
+//! sequential pipeline.
+//!
+//! Isolation: every generation runs under `catch_unwind`; a panic
+//! quarantines the key in the [`SharedPulseTable`] (so a deterministic
+//! crash fires once, not once per retry or worker) and the batch keeps
+//! going. Budgets are shared atomically: once the cost ceiling or the
+//! deadline is hit, all workers stop starting new generations.
+
+use crate::factory::{job_seed, PulseSourceFactory};
+use crate::shared_table::{Claim, Provenance, SharedPulseTable};
+use paqoc_circuit::Instruction;
+use paqoc_device::{Device, PulseEstimate};
+use std::collections::{BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of pulse-generation work.
+#[derive(Clone, Debug)]
+pub struct PulseJob {
+    /// Cache key (the caller's `composite_key`); opaque to the
+    /// executor, which shards, dedups and seeds by it.
+    pub key: String,
+    /// The gate group to realize (earlier instructions applied first).
+    pub group: Vec<Instruction>,
+    /// Scheduling priority — the predicted latency delta of the merge
+    /// candidate this pulse serves. Higher runs earlier.
+    pub priority: f64,
+    /// Fidelity target passed to the source.
+    pub target_fidelity: f64,
+}
+
+impl PulseJob {
+    /// Number of distinct qubits the group touches.
+    pub fn qubits(&self) -> usize {
+        self.group
+            .iter()
+            .flat_map(|inst| inst.qubits().iter().copied())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+/// Why a job was skipped without attempting generation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SkipReason {
+    /// The shared deadline passed before the job started.
+    Deadline,
+    /// The shared cost budget was exhausted before the job started.
+    CostBudget,
+    /// The key is quarantined from an earlier panic.
+    Quarantined,
+}
+
+/// Per-job outcome, aligned with the input job order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobStatus {
+    /// This worker generated the pulse.
+    Generated(PulseEstimate),
+    /// The pulse already existed (shard or persistent store).
+    Hit(PulseEstimate, Provenance),
+    /// Another worker generated it first; this is the dedup path.
+    Deduped(PulseEstimate),
+    /// Generation failed cleanly (typed source error); retriable.
+    Failed(String),
+    /// The source panicked; the key is now quarantined.
+    Panicked(String),
+    /// Not attempted (see [`SkipReason`]).
+    Skipped(SkipReason),
+}
+
+impl JobStatus {
+    /// The usable pulse, when the job produced or found one.
+    pub fn estimate(&self) -> Option<PulseEstimate> {
+        match self {
+            JobStatus::Generated(est) | JobStatus::Deduped(est) | JobStatus::Hit(est, _) => {
+                Some(*est)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Batch execution knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecOptions {
+    /// Worker count (min 1). See [`effective_threads`](crate::effective_threads).
+    pub threads: usize,
+    /// Shared wall-clock deadline: jobs not started by then are skipped.
+    pub deadline: Option<Instant>,
+    /// Shared cost ceiling in source cost units; checked atomically
+    /// before each generation starts.
+    pub cost_budget_units: Option<f64>,
+    /// Cost already spent before this batch (the pipeline's running
+    /// total), charged against the same ceiling.
+    pub cost_spent_units: f64,
+    /// Seed folded (XOR) into every per-key job seed.
+    pub base_seed: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            threads: 1,
+            deadline: None,
+            cost_budget_units: None,
+            cost_spent_units: 0.0,
+            base_seed: 0,
+        }
+    }
+}
+
+/// What a batch did, with per-job statuses in input order.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// One status per input job, same order.
+    pub statuses: Vec<JobStatus>,
+    /// Pulses generated by workers in this batch.
+    pub generated: usize,
+    /// Jobs resolved from a shard already holding the pulse.
+    pub shard_hits: usize,
+    /// Jobs resolved by persistent-store read-through.
+    pub store_hits: usize,
+    /// Jobs that raced an in-flight generation and reused its result.
+    pub dedup_hits: usize,
+    /// Clean generation failures.
+    pub failures: usize,
+    /// Panicking generations (keys now quarantined).
+    pub panics: usize,
+    /// Jobs skipped for deadline/budget/quarantine.
+    pub skipped: usize,
+    /// Cost units spent by this batch's generations.
+    pub cost_spent_units: f64,
+    /// Wall-clock time of the whole batch.
+    pub wall: Duration,
+}
+
+impl BatchReport {
+    fn tally(&mut self) {
+        for status in &self.statuses {
+            match status {
+                JobStatus::Generated(_) => self.generated += 1,
+                JobStatus::Hit(_, Provenance::Store) => self.store_hits += 1,
+                JobStatus::Hit(_, _) => self.shard_hits += 1,
+                JobStatus::Deduped(_) => self.dedup_hits += 1,
+                JobStatus::Failed(_) => self.failures += 1,
+                JobStatus::Panicked(_) => self.panics += 1,
+                JobStatus::Skipped(_) => self.skipped += 1,
+            }
+        }
+    }
+}
+
+/// Atomic f64 accumulator (bit-cast spins), for the shared cost tally.
+struct AtomicCost(AtomicU64);
+
+impl AtomicCost {
+    fn new(v: f64) -> Self {
+        AtomicCost(AtomicU64::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+struct WorkerYield {
+    done: Vec<(usize, JobStatus)>,
+    /// Jobs that hit the in-flight dedup path, resolved after the join.
+    pending: Vec<usize>,
+}
+
+/// Runs `jobs` across `opts.threads` work-stealing workers against the
+/// shared `table`. Statuses come back in input-job order; pulses land
+/// in the table (and its write-behind buffer — call
+/// [`SharedPulseTable::sync`] afterwards to persist).
+pub fn run_batch(
+    jobs: &[PulseJob],
+    device: &Device,
+    factory: &dyn PulseSourceFactory,
+    table: &SharedPulseTable,
+    opts: &ExecOptions,
+) -> BatchReport {
+    let start = Instant::now();
+    let batch_span = paqoc_telemetry::span("exec.batch");
+    let batch_id = batch_span.id();
+    let threads = opts
+        .threads
+        .clamp(1, MAX_BATCH_THREADS)
+        .min(jobs.len().max(1));
+
+    // Priority-descending schedule, index-tie-broken so the order (and
+    // with it the threads=1 run) is fully deterministic.
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        jobs[b]
+            .priority
+            .partial_cmp(&jobs[a].priority)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..threads).map(|_| Mutex::new(VecDeque::new())).collect();
+    for (pos, idx) in order.into_iter().enumerate() {
+        if let Ok(mut q) = queues[pos % threads].lock() {
+            q.push_back(idx);
+        }
+    }
+
+    let spent = AtomicCost::new(opts.cost_spent_units);
+    let over_budget = AtomicBool::new(false);
+    let batch_cost = AtomicCost::new(0.0);
+
+    let yields: Vec<WorkerYield> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|me| {
+                let queues = &queues;
+                let spent = &spent;
+                let over_budget = &over_budget;
+                let batch_cost = &batch_cost;
+                scope.spawn(move || {
+                    worker(
+                        me,
+                        jobs,
+                        device,
+                        factory,
+                        table,
+                        opts,
+                        queues,
+                        spent,
+                        over_budget,
+                        batch_cost,
+                        batch_id,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| WorkerYield {
+                    done: Vec::new(),
+                    pending: Vec::new(),
+                })
+            })
+            .collect()
+    });
+
+    // Stitch worker results back into input order, then resolve the
+    // dedup losers now that every in-flight generation has settled.
+    let mut statuses = vec![JobStatus::Skipped(SkipReason::Deadline); jobs.len()];
+    let mut pending = Vec::new();
+    for y in yields {
+        for (idx, status) in y.done {
+            statuses[idx] = status;
+        }
+        pending.extend(y.pending);
+    }
+    for idx in pending {
+        let key = &jobs[idx].key;
+        statuses[idx] = if let Some(est) = table.get(key) {
+            JobStatus::Deduped(est)
+        } else if table.is_quarantined(key) {
+            JobStatus::Skipped(SkipReason::Quarantined)
+        } else {
+            JobStatus::Failed("deduped onto a generation that failed".to_string())
+        };
+    }
+
+    let mut report = BatchReport {
+        statuses,
+        cost_spent_units: batch_cost.load(),
+        wall: start.elapsed(),
+        ..BatchReport::default()
+    };
+    report.tally();
+    if paqoc_telemetry::enabled() {
+        paqoc_telemetry::event!(
+            "exec.batch",
+            jobs = jobs.len() as u64,
+            threads = threads as u64,
+            generated = report.generated as u64,
+            shard_hits = report.shard_hits as u64,
+            store_hits = report.store_hits as u64,
+            dedup_hits = report.dedup_hits as u64,
+            failures = report.failures as u64,
+            panics = report.panics as u64,
+            skipped = report.skipped as u64,
+            cost_units = report.cost_spent_units,
+            wall_us = report.wall.as_micros() as u64,
+        );
+    }
+    report
+}
+
+/// Hard ceiling on batch workers, matching
+/// [`MAX_THREADS`](crate::MAX_THREADS).
+const MAX_BATCH_THREADS: usize = 64;
+
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    me: usize,
+    jobs: &[PulseJob],
+    device: &Device,
+    factory: &dyn PulseSourceFactory,
+    table: &SharedPulseTable,
+    opts: &ExecOptions,
+    queues: &[Mutex<VecDeque<usize>>],
+    spent: &AtomicCost,
+    over_budget: &AtomicBool,
+    batch_cost: &AtomicCost,
+    batch_id: Option<u64>,
+) -> WorkerYield {
+    // Worker spans run on this thread's own span stack but are linked
+    // to the batch span, so the merged journal keeps the tree intact.
+    let _span = paqoc_telemetry::span_with_parent("exec.worker", batch_id);
+    let mut done = Vec::new();
+    let mut pending = Vec::new();
+
+    while let Some(idx) = next_job(me, queues) {
+        let job = &jobs[idx];
+        if let Some(deadline) = opts.deadline {
+            if Instant::now() >= deadline {
+                done.push((idx, JobStatus::Skipped(SkipReason::Deadline)));
+                continue;
+            }
+        }
+        if let Some(budget) = opts.cost_budget_units {
+            if over_budget.load(Ordering::Acquire) || spent.load() >= budget {
+                over_budget.store(true, Ordering::Release);
+                done.push((idx, JobStatus::Skipped(SkipReason::CostBudget)));
+                continue;
+            }
+        }
+        let status = match table.claim(&job.key) {
+            Claim::Hit(est, prov) => JobStatus::Hit(est, prov),
+            Claim::Quarantined => JobStatus::Skipped(SkipReason::Quarantined),
+            Claim::InFlight => {
+                paqoc_telemetry::counter("exec.dedup", 1);
+                paqoc_telemetry::event!(
+                    "exec.dedup",
+                    worker = me as u64,
+                    arity = job.qubits() as u64,
+                    key = job.key.as_str(),
+                );
+                pending.push(idx);
+                continue;
+            }
+            Claim::Claimed => {
+                let seed = opts.base_seed ^ job_seed(&job.key);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut source = factory.make(seed);
+                    source.try_generate(&job.group, device, job.target_fidelity, None)
+                }));
+                match outcome {
+                    Ok(Ok(est)) => {
+                        table.complete(&job.key, est);
+                        spent.add(est.cost_units);
+                        batch_cost.add(est.cost_units);
+                        JobStatus::Generated(est)
+                    }
+                    Ok(Err(err)) => {
+                        table.abandon(&job.key);
+                        JobStatus::Failed(err.to_string())
+                    }
+                    Err(payload) => {
+                        table.quarantine(&job.key);
+                        let message = panic_message(payload.as_ref());
+                        paqoc_telemetry::counter("exec.panic", 1);
+                        paqoc_telemetry::event!(
+                            "exec.panic",
+                            worker = me as u64,
+                            key = job.key.as_str(),
+                            message = message.as_str(),
+                        );
+                        JobStatus::Panicked(message)
+                    }
+                }
+            }
+        };
+        if paqoc_telemetry::enabled() {
+            paqoc_telemetry::event!(
+                "exec.job",
+                worker = me as u64,
+                arity = job.qubits() as u64,
+                outcome = status_label(&status),
+                priority = job.priority,
+            );
+        }
+        done.push((idx, status));
+    }
+    WorkerYield { done, pending }
+}
+
+/// Pops the worker's own front, else steals a victim's back.
+fn next_job(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+    if let Ok(mut own) = queues[me].lock() {
+        if let Some(idx) = own.pop_front() {
+            return Some(idx);
+        }
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Ok(mut q) = queues[victim].lock() {
+            if let Some(idx) = q.pop_back() {
+                return Some(idx);
+            }
+        }
+    }
+    None
+}
+
+fn status_label(status: &JobStatus) -> &'static str {
+    match status {
+        JobStatus::Generated(_) => "generated",
+        JobStatus::Hit(_, Provenance::Store) => "store_hit",
+        JobStatus::Hit(_, _) => "shard_hit",
+        JobStatus::Deduped(_) => "dedup",
+        JobStatus::Failed(_) => "failed",
+        JobStatus::Panicked(_) => "panicked",
+        JobStatus::Skipped(SkipReason::Deadline) => "skipped_deadline",
+        JobStatus::Skipped(SkipReason::CostBudget) => "skipped_budget",
+        JobStatus::Skipped(SkipReason::Quarantined) => "skipped_quarantined",
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

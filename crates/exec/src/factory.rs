@@ -1,0 +1,124 @@
+//! `Send`-able pulse-source construction for the worker pool.
+//!
+//! The sequential pipeline hands one long-lived `&mut dyn PulseSource`
+//! down the call stack; workers cannot share it. A
+//! [`PulseSourceFactory`] instead builds a **fresh, owned source per
+//! job**, seeded from the job key, so a pulse depends only on
+//! `(key, group, device, target)` — never on which worker ran it, in
+//! what order, or how many threads existed. That per-key seeding is the
+//! whole determinism contract: `threads=1` and `threads=N` produce
+//! bit-identical pulses because every generation is a pure function of
+//! its job.
+//!
+//! Warm-starting is deliberately absent here: similarity warm-starts
+//! read "the closest pulse generated *so far*", which is a schedule
+//! artifact. Batch jobs always run cold; the sequential ladder on top
+//! keeps its warm-start behavior for the keys the batch did not cover.
+
+use paqoc_device::{AnalyticModel, FaultConfig, FaultySource, PulseSource};
+
+/// Builds an owned pulse source for one job.
+///
+/// `seed` is derived from the job key (see [`job_seed`]); deterministic
+/// sources (the analytic surrogate) may ignore it, stochastic ones
+/// (GRAPE restarts, fault injection) must fold it into their stream so
+/// replays are exact per key.
+pub trait PulseSourceFactory: Send + Sync {
+    /// Creates a fresh source seeded for one job.
+    fn make(&self, seed: u64) -> Box<dyn PulseSource + Send>;
+
+    /// Short identifier used in reports.
+    fn name(&self) -> &'static str {
+        "factory"
+    }
+}
+
+/// FNV-1a hash of a job key — the per-job seed.
+///
+/// Stable across runs, platforms and thread counts; the same function
+/// the store uses for device fingerprints, so seeds are reproducible
+/// from logs.
+pub fn job_seed(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Factory for the deterministic analytic surrogate.
+///
+/// [`AnalyticModel`] is a pure function of its inputs, so the seed is
+/// ignored — every worker computes the same pulse for the same group.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnalyticFactory;
+
+impl PulseSourceFactory for AnalyticFactory {
+    fn make(&self, _seed: u64) -> Box<dyn PulseSource + Send> {
+        Box::new(AnalyticModel::new())
+    }
+
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+}
+
+/// Factory wrapping the analytic surrogate in seeded fault injection.
+///
+/// The job seed is XOR-folded into the configured fault seed, so fault
+/// draws are a function of the job key — a key that panics under
+/// `panic_storm` panics on every worker and every thread count, which
+/// is what the quarantine tests rely on.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultyAnalyticFactory {
+    cfg: FaultConfig,
+}
+
+impl FaultyAnalyticFactory {
+    /// Creates a factory injecting faults per `cfg`.
+    pub fn new(cfg: FaultConfig) -> Self {
+        FaultyAnalyticFactory { cfg }
+    }
+}
+
+impl PulseSourceFactory for FaultyAnalyticFactory {
+    fn make(&self, seed: u64) -> Box<dyn PulseSource + Send> {
+        let cfg = FaultConfig {
+            seed: self.cfg.seed ^ seed,
+            ..self.cfg
+        };
+        Box::new(FaultySource::new(AnalyticModel::new(), cfg))
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty-analytic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_seed_is_stable_and_key_sensitive() {
+        assert_eq!(job_seed("a"), job_seed("a"));
+        assert_ne!(job_seed("a"), job_seed("b"));
+        // FNV-1a of the empty string is the offset basis.
+        assert_eq!(job_seed(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn factories_build_usable_sources() {
+        use paqoc_circuit::{GateKind, Instruction};
+        let dev = paqoc_device::Device::grid5x5();
+        let cx = [Instruction::new(GateKind::Cx, vec![0, 1], vec![])];
+        let mut a = AnalyticFactory.make(7);
+        let mut b = AnalyticFactory.make(99);
+        let ea = a.generate(&cx, &dev, 0.999, None);
+        let eb = b.generate(&cx, &dev, 0.999, None);
+        assert_eq!(ea, eb, "analytic factory must ignore the seed");
+        let mut f = FaultyAnalyticFactory::new(FaultConfig::default()).make(7);
+        assert!(f.generate(&cx, &dev, 0.999, None).is_well_formed());
+    }
+}

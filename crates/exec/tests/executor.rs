@@ -1,0 +1,324 @@
+//! Contention, isolation and budget acceptance tests for the executor.
+//!
+//! The heart of the suite is the dedup contract: N workers racing one
+//! key must produce **exactly one** generation — the rest take the
+//! in-flight dedup path (journaled as `exec.dedup`) — and that must
+//! hold even when the one generation panics (`panic_storm`), where the
+//! key quarantines instead of retrying per worker.
+
+use paqoc_circuit::{GateKind, Instruction};
+use paqoc_device::{Device, FaultConfig};
+use paqoc_exec::{
+    run_batch, AnalyticFactory, ExecOptions, FaultyAnalyticFactory, JobStatus, Provenance,
+    PulseJob, SharedPulseTable, SkipReason,
+};
+use std::time::{Duration, Instant};
+
+fn cx_group(a: usize, b: usize) -> Vec<Instruction> {
+    vec![Instruction::new(GateKind::Cx, vec![a, b], vec![])]
+}
+
+fn job(key: &str, group: Vec<Instruction>, priority: f64) -> PulseJob {
+    PulseJob {
+        key: key.to_string(),
+        group,
+        priority,
+        target_fidelity: 0.999,
+    }
+}
+
+/// N workers racing the same key: exactly one generation; every racer
+/// resolves through dedup (or a shard hit if it arrived after the
+/// winner published); `exec.dedup` lands in the journal.
+#[test]
+fn racing_workers_dedup_to_one_generation() {
+    paqoc_telemetry::set_enabled(true);
+    let before = paqoc_telemetry::snapshot()
+        .counters
+        .get("exec.dedup")
+        .copied()
+        .unwrap_or(0);
+
+    let table = SharedPulseTable::new();
+    // A 50 ms stall guarantees the racers arrive while the winner is
+    // still in flight, so the dedup path actually exercises.
+    let factory = FaultyAnalyticFactory::new(FaultConfig::stalling(Duration::from_millis(50)));
+    let jobs: Vec<PulseJob> = (0..8)
+        .map(|i| job("shared-key", cx_group(0, 1), i as f64))
+        .collect();
+    let report = run_batch(
+        &jobs,
+        &Device::grid5x5(),
+        &factory,
+        &table,
+        &ExecOptions {
+            threads: 8,
+            ..ExecOptions::default()
+        },
+    );
+
+    assert_eq!(report.generated, 1, "exactly one generation for one key");
+    assert_eq!(report.panics, 0);
+    assert_eq!(report.failures, 0);
+    assert_eq!(report.dedup_hits + report.shard_hits, 7);
+    assert!(report.dedup_hits >= 1, "stalled winner must force dedup");
+    let est = report.statuses[0]
+        .estimate()
+        .or_else(|| report.statuses.iter().find_map(JobStatus::estimate))
+        .expect("winner produced a pulse");
+    for status in &report.statuses {
+        assert_eq!(status.estimate(), Some(est), "all racers see one pulse");
+    }
+    assert_eq!(table.len(), 1);
+
+    let snap = paqoc_telemetry::snapshot();
+    let after = snap.counters.get("exec.dedup").copied().unwrap_or(0);
+    assert!(
+        after >= before + report.dedup_hits as u64,
+        "dedup counter must advance"
+    );
+    assert!(
+        snap.events.iter().any(|e| e.name == "exec.dedup"
+            && e.fields.iter().any(|(k, _)| k == "worker")
+            && e.fields.iter().any(|(k, _)| k == "key")),
+        "dedup must be journaled with worker and key fields"
+    );
+}
+
+/// Under `panic_storm` the racing workers still cause exactly one
+/// generation attempt: the panic quarantines the key before the claim
+/// drops, so racers resolve to quarantine skips, never to retries.
+#[test]
+fn panic_storm_contention_quarantines_once() {
+    let table = SharedPulseTable::new();
+    let cfg = FaultConfig {
+        stall: Duration::from_millis(50),
+        ..FaultConfig::panic_storm(7, 1.0)
+    };
+    let factory = FaultyAnalyticFactory::new(cfg);
+    let jobs: Vec<PulseJob> = (0..8)
+        .map(|_| job("doomed-key", cx_group(0, 1), 1.0))
+        .collect();
+    let report = run_batch(
+        &jobs,
+        &Device::grid5x5(),
+        &factory,
+        &table,
+        &ExecOptions {
+            threads: 8,
+            ..ExecOptions::default()
+        },
+    );
+
+    assert_eq!(
+        report.panics, 1,
+        "the storm fires once, not once per worker"
+    );
+    assert_eq!(report.generated, 0);
+    assert_eq!(
+        report.skipped, 7,
+        "every racer resolves to a quarantine skip: {:?}",
+        report.statuses
+    );
+    assert!(report.statuses.iter().all(|s| matches!(
+        s,
+        JobStatus::Panicked(_) | JobStatus::Skipped(SkipReason::Quarantined)
+    )));
+    assert!(table.is_quarantined("doomed-key"));
+    assert!(table.get("doomed-key").is_none(), "no pulse was cached");
+
+    // A fresh batch on the same key skips entirely — zero attempts.
+    let again = run_batch(
+        &jobs[..2],
+        &Device::grid5x5(),
+        &factory,
+        &table,
+        &ExecOptions::default(),
+    );
+    assert_eq!(again.panics, 0);
+    assert_eq!(again.generated, 0);
+    assert_eq!(again.skipped, 2);
+}
+
+/// Pulses, statuses and the table snapshot are bit-identical across
+/// thread counts, including which keys fail: faults are seeded per key,
+/// not per schedule.
+#[test]
+fn batch_results_are_identical_across_thread_counts() {
+    let device = Device::grid5x5();
+    let pairs = [(0, 1), (1, 2), (5, 6), (6, 7), (10, 11), (12, 13), (2, 7)];
+    let jobs: Vec<PulseJob> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| job(&format!("k{a}-{b}"), cx_group(a, b), i as f64))
+        .collect();
+    let cfg = FaultConfig::convergence_storm(42, 0.4);
+    let run = |threads: usize| {
+        let table = SharedPulseTable::new();
+        let report = run_batch(
+            &jobs,
+            &device,
+            &FaultyAnalyticFactory::new(cfg),
+            &table,
+            &ExecOptions {
+                threads,
+                ..ExecOptions::default()
+            },
+        );
+        (report, table.snapshot())
+    };
+    let (r1, snap1) = run(1);
+    let (r8, snap8) = run(8);
+    assert_eq!(snap1, snap8, "cached pulses must not depend on threads");
+    assert_eq!(r1.generated, r8.generated);
+    assert_eq!(r1.failures, r8.failures);
+    assert!(r1.failures > 0, "the storm must actually fail some keys");
+    for (a, b) in r1.statuses.iter().zip(&r8.statuses) {
+        assert_eq!(a, b, "per-job statuses must match across thread counts");
+    }
+}
+
+/// Shared budgets stop work promptly and deterministically: an
+/// already-spent budget skips everything; a one-generation budget
+/// admits exactly one at `threads=1`.
+#[test]
+fn cost_budget_is_shared_and_checked_before_start() {
+    let device = Device::grid5x5();
+    let jobs: Vec<PulseJob> = (0..5)
+        .map(|i| job(&format!("b{i}"), cx_group(i, i + 1), 0.0))
+        .collect();
+
+    let table = SharedPulseTable::new();
+    let exhausted = run_batch(
+        &jobs,
+        &device,
+        &AnalyticFactory,
+        &table,
+        &ExecOptions {
+            threads: 4,
+            cost_budget_units: Some(10.0),
+            cost_spent_units: 10.0,
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(exhausted.generated, 0);
+    assert_eq!(exhausted.skipped, 5);
+    assert!(exhausted
+        .statuses
+        .iter()
+        .all(|s| *s == JobStatus::Skipped(SkipReason::CostBudget)));
+
+    let table = SharedPulseTable::new();
+    let tight = run_batch(
+        &jobs,
+        &device,
+        &AnalyticFactory,
+        &table,
+        &ExecOptions {
+            threads: 1,
+            cost_budget_units: Some(1e-9),
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(tight.generated, 1, "first job starts under budget");
+    assert_eq!(tight.skipped, 4, "charge lands before the next check");
+    assert!(tight.cost_spent_units > 0.0);
+}
+
+/// Stalled workers cannot sail past a shared deadline: jobs not started
+/// by the deadline are skipped, while work already begun completes.
+#[test]
+fn stall_fault_interacts_with_shared_deadline() {
+    let device = Device::grid5x5();
+    let factory = FaultyAnalyticFactory::new(FaultConfig::stalling(Duration::from_millis(50)));
+    let jobs: Vec<PulseJob> = (0..6)
+        .map(|i| job(&format!("d{i}"), cx_group(i, i + 1), 0.0))
+        .collect();
+
+    // Already-passed deadline: nothing starts.
+    let table = SharedPulseTable::new();
+    let expired = run_batch(
+        &jobs,
+        &device,
+        &factory,
+        &table,
+        &ExecOptions {
+            threads: 2,
+            deadline: Some(Instant::now()),
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(expired.generated, 0);
+    assert!(expired
+        .statuses
+        .iter()
+        .all(|s| *s == JobStatus::Skipped(SkipReason::Deadline)));
+
+    // A deadline shorter than the stalled batch: the first generation
+    // completes (deadlines don't abort in-flight work, matching the
+    // sequential pipeline), later jobs are skipped.
+    let table = SharedPulseTable::new();
+    let partial = run_batch(
+        &jobs,
+        &device,
+        &factory,
+        &table,
+        &ExecOptions {
+            threads: 1,
+            deadline: Some(Instant::now() + Duration::from_millis(60)),
+            ..ExecOptions::default()
+        },
+    );
+    assert!(
+        partial.generated >= 1,
+        "work begun before the deadline runs"
+    );
+    assert!(
+        partial.skipped >= 1,
+        "a 300 ms stalled batch cannot fit a 60 ms deadline: {:?}",
+        partial.statuses
+    );
+}
+
+/// Store-backed tables resolve cross-process hits with store
+/// provenance, and write-behind persists batch results on sync.
+#[test]
+fn batch_write_behind_round_trips_through_store() {
+    let dir = std::env::temp_dir().join(format!("paqoc_exec_batch_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("batch.pqps");
+    let _ = std::fs::remove_file(&path);
+    let device = Device::grid5x5();
+    let jobs: Vec<PulseJob> = (0..4)
+        .map(|i| job(&format!("s{i}"), cx_group(i, i + 1), 0.0))
+        .collect();
+
+    let table = SharedPulseTable::new()
+        .with_store(paqoc_store::PulseStore::open(&path, device.fingerprint()).expect("open"));
+    let cold = run_batch(
+        &jobs,
+        &device,
+        &AnalyticFactory,
+        &table,
+        &ExecOptions::default(),
+    );
+    assert_eq!(cold.generated, 4);
+    assert_eq!(table.sync().expect("sync"), 4);
+
+    let table2 = SharedPulseTable::new()
+        .with_store(paqoc_store::PulseStore::open(&path, device.fingerprint()).expect("reopen"));
+    let warm = run_batch(
+        &jobs,
+        &device,
+        &AnalyticFactory,
+        &table2,
+        &ExecOptions::default(),
+    );
+    assert_eq!(warm.generated, 0, "warm run must not regenerate");
+    assert_eq!(warm.store_hits, 4);
+    assert!(warm
+        .statuses
+        .iter()
+        .all(|s| matches!(s, JobStatus::Hit(_, Provenance::Store))));
+    let _ = std::fs::remove_file(&path);
+}

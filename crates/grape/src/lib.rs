@@ -34,4 +34,4 @@ mod source;
 pub use duration::{minimize_duration, DurationSearch};
 pub use optimizer::{optimize, GrapeOptions, GrapeResult, Pulse};
 pub use sim::{circuit_pulse_fidelity, propagate, ScheduledUnitary};
-pub use source::GrapeSource;
+pub use source::{GrapeFactory, GrapeSource};

@@ -75,6 +75,71 @@ impl Default for GrapeSource {
     }
 }
 
+/// Builds fresh per-job [`GrapeSource`]s for the parallel executor.
+///
+/// Each [`make`](paqoc_exec::PulseSourceFactory::make) call returns a
+/// new source whose RNG seed is `opts.seed ^ seed` — the executor
+/// passes [`paqoc_exec::job_seed`] of the job's composite key, so a
+/// pulse is a pure function of `(key, group, device, options)` no
+/// matter which worker runs it or in what order. The per-job source
+/// starts with an empty pulse cache, deliberately: warm-starting from
+/// whatever happened to finish earlier on another thread is exactly the
+/// schedule dependence the determinism contract forbids.
+#[derive(Clone, Debug)]
+pub struct GrapeFactory {
+    opts: GrapeOptions,
+    max_retries: usize,
+}
+
+impl Default for GrapeFactory {
+    fn default() -> Self {
+        GrapeFactory::new(GrapeOptions::default())
+    }
+}
+
+impl GrapeFactory {
+    /// Creates a factory stamping sources with the given options.
+    pub fn new(opts: GrapeOptions) -> Self {
+        GrapeFactory {
+            opts,
+            max_retries: 2,
+        }
+    }
+
+    /// A factory matching [`GrapeSource::fast`] (test/CI speed).
+    pub fn fast() -> Self {
+        GrapeFactory::new(GrapeOptions {
+            step_ns: 0.5,
+            max_iters: 250,
+            restarts: 2,
+            target_fidelity: 0.99,
+            ..GrapeOptions::default()
+        })
+    }
+
+    /// Escalated retries per source (see [`GrapeSource::with_retries`]).
+    pub fn with_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+}
+
+impl paqoc_exec::PulseSourceFactory for GrapeFactory {
+    fn make(&self, seed: u64) -> Box<dyn PulseSource + Send> {
+        Box::new(
+            GrapeSource::new(GrapeOptions {
+                seed: self.opts.seed ^ seed,
+                ..self.opts
+            })
+            .with_retries(self.max_retries),
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "grape"
+    }
+}
+
 impl GrapeSource {
     /// Creates a source with the given optimizer options.
     pub fn new(opts: GrapeOptions) -> Self {

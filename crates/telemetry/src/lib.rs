@@ -478,6 +478,21 @@ struct LiveSpan {
 /// the same thread become its children. No-op (and allocation-free) when
 /// collection is disabled.
 pub fn span(name: impl Into<String>) -> SpanGuard {
+    open_span(name, None)
+}
+
+/// Opens a named span whose parent is set *explicitly* instead of being
+/// taken from this thread's span stack. This is the cross-thread linkage
+/// primitive: a worker thread opens its root span with the id of the
+/// submitting thread's batch span ([`SpanGuard::id`]), so the merged
+/// journal keeps one connected span tree across the whole worker pool.
+/// Spans opened on the worker thread while this guard is live nest under
+/// it normally. With `parent = None` this is exactly [`span`].
+pub fn span_with_parent(name: impl Into<String>, parent: Option<u64>) -> SpanGuard {
+    open_span(name, parent)
+}
+
+fn open_span(name: impl Into<String>, explicit_parent: Option<u64>) -> SpanGuard {
     if !enabled() {
         return SpanGuard { live: None };
     }
@@ -486,7 +501,7 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
     let parent = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         stack.sync();
-        let parent = stack.ids.last().copied();
+        let parent = explicit_parent.or_else(|| stack.ids.last().copied());
         stack.ids.push(id);
         parent
     });
@@ -497,6 +512,15 @@ pub fn span(name: impl Into<String>) -> SpanGuard {
             name: name.into(),
             start: Instant::now(),
         }),
+    }
+}
+
+impl SpanGuard {
+    /// Id of this span, for linking child spans opened on *other*
+    /// threads via [`span_with_parent`]. `None` when collection was
+    /// disabled at open time (the guard records nothing).
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
     }
 }
 

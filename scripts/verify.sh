@@ -28,6 +28,27 @@ cargo run --release -p paqoc-bench --bin bench -- --quick \
 cargo run --release -p paqoc-bench --bin bench -- --quick --check \
     --out target/BENCH_pipeline_warm.json --pulse-db "$PULSE_DB" --expect-warm
 
+echo "== executor determinism: 1-thread vs 4-thread stable dumps must be byte-identical =="
+# No --pulse-db here: a pooled store lets concurrent compiles trade
+# permutation-equivalent entries, which is legal cache reuse but
+# schedule-dependent; the determinism contract is per-table.
+PAQOC_THREADS=1 cargo run --release -p paqoc-bench --bin bench -- --quick \
+    --out target/BENCH_pipeline_t1.json --stable-dump target/BENCH_stable_t1.json
+PAQOC_THREADS=4 cargo run --release -p paqoc-bench --bin bench -- --quick --check \
+    --out target/BENCH_pipeline_t4.json --stable-dump target/BENCH_stable_t4.json
+cmp target/BENCH_stable_t1.json target/BENCH_stable_t4.json
+echo "stable dumps identical"
+
+# The wall-clock speedup gate only means something with real cores
+# under it; CI containers with 1-2 CPUs run the determinism half only.
+if [ "$(nproc)" -ge 4 ]; then
+    echo "== executor speedup gate (>= 2x overlap on $(nproc) cores) =="
+    cargo run --release -p paqoc-bench --bin bench -- \
+        --out target/BENCH_pipeline_speedup.json --threads 4 --min-speedup 2.0
+else
+    echo "== executor speedup gate skipped ($(nproc) core(s) < 4) =="
+fi
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

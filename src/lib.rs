@@ -25,7 +25,14 @@
 //! * [`store`] — the crash-safe persistent pulse store behind
 //!   `PAQOC_PULSE_DB` / `PipelineOptions::pulse_db`: CRC-guarded
 //!   append-only records, device-fingerprinted headers, torn-tail and
-//!   corruption recovery.
+//!   corruption recovery;
+//! * [`exec`] — the parallel batch-compilation executor: work-stealing
+//!   std-thread pool over explicit pulse jobs, the sharded
+//!   [`exec::SharedPulseTable`] with in-flight dedup and store
+//!   read-through, and the per-job-seeded source factories that make
+//!   `threads = 1` and `threads = N` bit-identical (knob:
+//!   `PAQOC_THREADS` / `PipelineOptions::threads`, entry:
+//!   [`core::try_compile_batch`]).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +57,7 @@ pub use paqoc_accqoc as accqoc;
 pub use paqoc_circuit as circuit;
 pub use paqoc_core as core;
 pub use paqoc_device as device;
+pub use paqoc_exec as exec;
 pub use paqoc_grape as grape;
 pub use paqoc_mapping as mapping;
 pub use paqoc_math as math;

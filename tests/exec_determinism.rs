@@ -1,0 +1,81 @@
+//! The executor's determinism contract, end to end: compiling with
+//! `threads = 1` and `threads = 8` must produce byte-identical pulse
+//! tables and identical results for every Table-I benchmark.
+//!
+//! This is the property that makes the parallel executor safe to turn
+//! on by default — parallelism is an implementation detail, never
+//! observable in the output. It holds because each batch job runs on a
+//! fresh source seeded by its composite key (`paqoc::exec::job_seed`),
+//! with no cross-thread warm starting, so every pulse is a pure
+//! function of `(key, group, device, options)` regardless of schedule.
+
+use paqoc::core::{try_compile_batch, CompilationResult, PipelineOptions};
+use paqoc::device::Device;
+use paqoc::exec::{AnalyticFactory, PulseSourceFactory};
+use paqoc::workloads::all_benchmarks;
+use std::sync::Arc;
+
+fn compile_with_threads(name: &str, threads: usize) -> CompilationResult {
+    let device = Device::grid5x5();
+    let circuit = (all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .expect(name)
+        .build)();
+    let opts = PipelineOptions {
+        threads: Some(threads),
+        ..PipelineOptions::m_inf()
+    };
+    let factory: Arc<dyn PulseSourceFactory> = Arc::new(AnalyticFactory);
+    try_compile_batch(&circuit, &device, factory, &opts).expect(name)
+}
+
+/// Every stable (non-wall-clock) field of the result must match, and
+/// the pulse-table dump — sorted `(composite key, estimate)` pairs —
+/// must be equal entry for entry, f64 bits included (`PulseEstimate`'s
+/// `PartialEq` compares the raw floats).
+fn assert_identical(name: &str, a: &CompilationResult, b: &CompilationResult) {
+    assert_eq!(a.latency_dt, b.latency_dt, "{name}: latency_dt");
+    assert_eq!(a.latency_ns, b.latency_ns, "{name}: latency_ns bits");
+    assert_eq!(a.esp, b.esp, "{name}: esp bits");
+    assert_eq!(a.stats, b.stats, "{name}: compile stats");
+    assert_eq!(a.report, b.report, "{name}: generator report");
+    assert_eq!(a.num_groups(), b.num_groups(), "{name}: group count");
+    assert_eq!(
+        a.degradations.len(),
+        b.degradations.len(),
+        "{name}: degradations"
+    );
+    assert_eq!(
+        a.pulse_table.len(),
+        b.pulse_table.len(),
+        "{name}: pulse table size"
+    );
+    for ((ka, ea), (kb, eb)) in a.pulse_table.iter().zip(&b.pulse_table) {
+        assert_eq!(ka, kb, "{name}: pulse table keys diverge");
+        assert_eq!(ea, eb, "{name}: pulse for {ka} diverges");
+    }
+}
+
+#[test]
+fn all_benchmarks_are_bit_identical_across_thread_counts() {
+    for b in all_benchmarks() {
+        let sequential = compile_with_threads(b.name, 1);
+        let parallel = compile_with_threads(b.name, 8);
+        assert!(
+            !sequential.pulse_table.is_empty(),
+            "{}: empty pulse table",
+            b.name
+        );
+        assert_identical(b.name, &sequential, &parallel);
+    }
+}
+
+#[test]
+fn repeated_parallel_compiles_are_self_consistent() {
+    // Same thread count twice: catches nondeterminism that a 1-vs-8
+    // comparison could mask if both runs drifted the same way.
+    let first = compile_with_threads("qaoa", 8);
+    let second = compile_with_threads("qaoa", 8);
+    assert_identical("qaoa", &first, &second);
+}
