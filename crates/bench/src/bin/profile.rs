@@ -3,20 +3,38 @@
 //! candidates pruned, APA rejections, GRAPE iterations, …) and the
 //! pulse-table cache hit rate.
 //!
-//! Usage: `profile [benchmark] [config]` where `benchmark` is a Table-I
-//! name (default `qaoa`) and `config` is `m0`, `tuned` or `minf`
-//! (default `minf`). With `PAQOC_TRACE=<path>.json` the trace is dumped
+//! Usage: `profile [benchmark] [config] [--batch]` where `benchmark` is
+//! a Table-I name (default `qaoa`) and `config` is `m0`, `tuned` or
+//! `minf` (default `minf`). `--batch` compiles through
+//! [`try_compile_batch`] — the work-stealing executor path — so the
+//! trace additionally carries `exec.job` / `exec.worker` / `exec.batch`
+//! journal events for `report jobs` and `report workers`. With
+//! `PAQOC_TRACE=<path>.json` the trace is dumped
 //! in Chrome trace-event format (open in Perfetto / `chrome://tracing`);
-//! any other `PAQOC_TRACE=<path>` dumps raw JSON Lines. For the
-//! machine-readable cross-benchmark schema, use the `bench` binary
-//! (writes `BENCH_pipeline.json`).
+//! any other `PAQOC_TRACE=<path>` dumps raw JSON Lines. With
+//! `PAQOC_METRICS_MS=<interval>` the flight recorder samples gauges and
+//! process CPU/RSS into the journal at that cadence — Perfetto renders
+//! them as counter timelines, and `report jobs|phases|workers` digests
+//! the same dump offline. For the machine-readable cross-benchmark
+//! schema, use the `bench` binary (writes `BENCH_pipeline.json`).
 
-use paqoc_core::{compile, PipelineOptions};
+use paqoc_core::{compile, try_compile_batch, PipelineOptions};
 use paqoc_device::{AnalyticModel, Device};
+use paqoc_exec::{AnalyticFactory, PulseSourceFactory};
 use paqoc_workloads::{all_benchmarks, benchmark};
+use std::sync::Arc;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut batch = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--batch" {
+            batch = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut args = positional.into_iter();
     let bench_name = args.next().unwrap_or_else(|| "qaoa".to_string());
     let config = args.next().unwrap_or_else(|| "minf".to_string());
 
@@ -43,11 +61,25 @@ fn main() {
 
     paqoc_telemetry::set_enabled(true);
     paqoc_telemetry::reset();
+    // Honour PAQOC_METRICS_MS: background gauge/CPU/RSS sampling into
+    // the journal for the whole compilation (off unless the env is set).
+    let _recorder = paqoc_exec::FlightRecorder::from_env();
 
     let circuit = (b.build)();
     let device = Device::grid5x5();
-    let mut source = AnalyticModel::new();
-    let result = compile(&circuit, &device, &mut source, &opts);
+    let result = if batch {
+        let factory: Arc<dyn PulseSourceFactory> = Arc::new(AnalyticFactory);
+        match try_compile_batch(&circuit, &device, factory, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("profile: batch compile failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let mut source = AnalyticModel::new();
+        compile(&circuit, &device, &mut source, &opts)
+    };
 
     let snap = paqoc_telemetry::snapshot();
     println!(
@@ -84,10 +116,15 @@ fn main() {
             100.0 * hits as f64 / lookups as f64
         );
     }
-    assert_eq!(
-        hits as usize, result.stats.cache_hits,
-        "telemetry and CompileStats must agree on cache hits"
-    );
+    // The batch path resolves hits through the shared table's own
+    // claim counters, so the per-arity table counters only reconcile
+    // with CompileStats on the sequential path.
+    if !batch {
+        assert_eq!(
+            hits as usize, result.stats.cache_hits,
+            "telemetry and CompileStats must agree on cache hits"
+        );
+    }
 
     match paqoc_telemetry::write_env_trace() {
         Ok(Some(path)) => {

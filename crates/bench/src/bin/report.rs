@@ -1,0 +1,549 @@
+//! Offline flight-recorder analysis and the perf-regression gate.
+//!
+//! `report` post-processes the artifacts the rest of the harness
+//! already writes — `PAQOC_TRACE` journal dumps (JSON Lines or Chrome
+//! trace format) and `BENCH_pipeline.json` — without re-running
+//! anything:
+//!
+//! * `report jobs TRACE [--top N]` — the N slowest executor jobs, from
+//!   `exec.job` journal events (their `wall_us` field).
+//! * `report phases TRACE` — per-phase wall/self time aggregated over
+//!   the span tree, plus the critical path (the longest root-to-leaf
+//!   span chain).
+//! * `report workers TRACE` — per-worker utilization table from
+//!   `exec.worker` events (busy/idle/steal split, steal counts) and a
+//!   stall summary from `exec.stall` events.
+//! * `report compare CURRENT BASELINE [--counts-only]
+//!   [--wall-tolerance X]` — diffs two `BENCH_pipeline.json` files,
+//!   matching benchmarks by name (a `--quick` run gates against the
+//!   full-suite baseline via the intersection). Deterministic count
+//!   columns (`latency_dt`, `pulses_generated`, `store_hits`, …) must
+//!   match exactly and float columns (`esp`, `latency_ns`, …) within
+//!   1e-6 relative; any drift is a hard failure (exit 1). Wall-clock
+//!   columns are soft: reported always, fatal only when the relative
+//!   slowdown exceeds `--wall-tolerance` (default 0.5) and
+//!   `--counts-only` was not given. `scripts/verify.sh` runs the
+//!   `--counts-only` form against the committed repo-root baseline.
+
+use paqoc_telemetry::json::{self, Value};
+use std::collections::BTreeMap;
+
+/// Relative tolerance for deterministic float columns: analytic pulses
+/// are a pure function of the input, so anything past rounding noise is
+/// a real behaviour change.
+const FLOAT_RTOL: f64 = 1e-6;
+
+/// Per-benchmark columns that must match exactly between runs.
+const HARD_COUNT_KEYS: [&str; 11] = [
+    "latency_dt",
+    "physical_gates",
+    "num_groups",
+    "pulses_generated",
+    "cache_hits",
+    "store_hits",
+    "search_iterations",
+    "preprocess_merges",
+    "criticality_merges",
+    "rejected_merges",
+    "degradations",
+];
+
+/// Per-benchmark float columns gated at [`FLOAT_RTOL`].
+const FLOAT_KEYS: [&str; 4] = ["esp", "latency_ns", "cost_units", "pulse_table_hit_rate"];
+
+/// A span record, unified across the JSONL and Chrome-trace formats.
+struct SpanRec {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    duration_ns: u64,
+}
+
+/// A journal event with its typed fields flattened to parsed JSON.
+struct EventRec {
+    name: String,
+    fields: BTreeMap<String, Value>,
+}
+
+struct Trace {
+    spans: Vec<SpanRec>,
+    events: Vec<EventRec>,
+}
+
+fn num_u64(v: Option<&Value>) -> Option<u64> {
+    v.and_then(Value::as_num)
+        .filter(|n| n.is_finite() && *n >= 0.0)
+        .map(|n| n as u64)
+}
+
+/// Loads a trace dump, auto-detecting the format: a single JSON object
+/// with `traceEvents` is Chrome trace format, anything else is treated
+/// as the JSONL journal export.
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Ok(doc) = json::parse(text.trim()) {
+        if let Some(Value::Arr(events)) = doc.get("traceEvents") {
+            return Ok(from_chrome(events));
+        }
+    }
+    from_jsonl(&text)
+}
+
+fn from_chrome(events: &[Value]) -> Trace {
+    let mut spans = Vec::new();
+    let mut journal = Vec::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        // Timestamps are microseconds with fractional nanoseconds.
+        let ts_to_ns = |key: &str| -> u64 {
+            e.get(key)
+                .and_then(Value::as_num)
+                .filter(|n| n.is_finite() && *n >= 0.0)
+                .map(|us| (us * 1_000.0).round() as u64)
+                .unwrap_or(0)
+        };
+        let name = e.get("name").and_then(Value::as_str).unwrap_or("");
+        match ph {
+            "X" => spans.push(SpanRec {
+                id: num_u64(e.get("args").and_then(|a| a.get("id"))).unwrap_or(0),
+                parent: num_u64(e.get("args").and_then(|a| a.get("parent"))),
+                name: name.to_string(),
+                duration_ns: ts_to_ns("dur"),
+            }),
+            "i" => {
+                let fields = match e.get("args") {
+                    Some(Value::Obj(map)) => map.clone(),
+                    _ => BTreeMap::new(),
+                };
+                journal.push(EventRec {
+                    name: name.to_string(),
+                    fields,
+                });
+            }
+            _ => {}
+        }
+    }
+    Trace {
+        spans,
+        events: journal,
+    }
+}
+
+fn from_jsonl(text: &str) -> Result<Trace, String> {
+    let mut spans = Vec::new();
+    let mut journal = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("span") => spans.push(SpanRec {
+                id: num_u64(v.get("id")).unwrap_or(0),
+                parent: num_u64(v.get("parent")),
+                name: v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                duration_ns: num_u64(v.get("duration_ns")).unwrap_or(0),
+            }),
+            Some("event") => {
+                let fields = match v.get("fields") {
+                    Some(Value::Obj(map)) => map.clone(),
+                    _ => BTreeMap::new(),
+                };
+                journal.push(EventRec {
+                    name: v
+                        .get("name")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    fields,
+                });
+            }
+            _ => {}
+        }
+    }
+    Ok(Trace {
+        spans,
+        events: journal,
+    })
+}
+
+/// `report jobs`: the slowest executor jobs by their `wall_us` field.
+fn cmd_jobs(trace: &Trace, top: usize) {
+    let mut jobs: Vec<&EventRec> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "exec.job" && e.fields.contains_key("wall_us"))
+        .collect();
+    if jobs.is_empty() {
+        println!("report: no exec.job events with wall_us in this trace");
+        println!("(run with telemetry enabled, e.g. PAQOC_TRACE=trace.jsonl profile qaoa)");
+        return;
+    }
+    jobs.sort_by(|a, b| {
+        let wa = num_u64(a.fields.get("wall_us")).unwrap_or(0);
+        let wb = num_u64(b.fields.get("wall_us")).unwrap_or(0);
+        wb.cmp(&wa)
+    });
+    println!(
+        "{:>4} {:>12} {:>8} {:>6} {:>14} {:<12}",
+        "#", "wall_ms", "worker", "arity", "priority", "outcome"
+    );
+    for (rank, e) in jobs.iter().take(top).enumerate() {
+        let wall_us = num_u64(e.fields.get("wall_us")).unwrap_or(0);
+        println!(
+            "{:>4} {:>12.3} {:>8} {:>6} {:>14.1} {:<12}",
+            rank + 1,
+            wall_us as f64 / 1_000.0,
+            num_u64(e.fields.get("worker")).unwrap_or(0),
+            num_u64(e.fields.get("arity")).unwrap_or(0),
+            e.fields
+                .get("priority")
+                .and_then(Value::as_num)
+                .unwrap_or(0.0),
+            e.fields
+                .get("outcome")
+                .and_then(Value::as_str)
+                .unwrap_or("?"),
+        );
+    }
+    println!("({} exec.job events total)", jobs.len());
+}
+
+/// `report phases`: per-span-name totals with self time (duration minus
+/// direct children), plus the longest root-to-leaf chain.
+fn cmd_phases(trace: &Trace) {
+    if trace.spans.is_empty() {
+        println!("report: no spans in this trace (is tracing enabled?)");
+        return;
+    }
+    // Sum of each parent's direct children, for self-time.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in &trace.spans {
+        if let Some(p) = s.parent {
+            *child_ns.entry(p).or_insert(0) += s.duration_ns;
+        }
+    }
+    let known: std::collections::HashSet<u64> = trace.spans.iter().map(|s| s.id).collect();
+    let mut agg: BTreeMap<&str, (usize, u64, u64)> = BTreeMap::new();
+    let mut root_total = 0u64;
+    for s in &trace.spans {
+        let self_ns = s
+            .duration_ns
+            .saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        let entry = agg.entry(s.name.as_str()).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += s.duration_ns;
+        entry.2 += self_ns;
+        if s.parent.is_none_or(|p| !known.contains(&p)) {
+            root_total += s.duration_ns;
+        }
+    }
+    let mut rows: Vec<(&str, usize, u64, u64)> =
+        agg.into_iter().map(|(k, v)| (k, v.0, v.1, v.2)).collect();
+    rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(b.0)));
+    println!(
+        "{:<32} {:>8} {:>12} {:>12} {:>7}",
+        "phase", "count", "total_ms", "self_ms", "self%"
+    );
+    for (name, count, total, self_ns) in &rows {
+        let share = if root_total == 0 {
+            0.0
+        } else {
+            100.0 * *self_ns as f64 / root_total as f64
+        };
+        println!(
+            "{:<32} {:>8} {:>12.3} {:>12.3} {:>6.1}%",
+            name,
+            count,
+            *total as f64 / 1e6,
+            *self_ns as f64 / 1e6,
+            share
+        );
+    }
+
+    // Critical path: from the longest root, repeatedly descend into the
+    // longest direct child.
+    let mut current = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent.is_none_or(|p| !known.contains(&p)))
+        .max_by_key(|s| s.duration_ns);
+    println!("\ncritical path (longest child chain):");
+    let mut depth = 0;
+    while let Some(span) = current {
+        println!(
+            "{:indent$}{} — {:.3} ms",
+            "",
+            span.name,
+            span.duration_ns as f64 / 1e6,
+            indent = depth * 2
+        );
+        depth += 1;
+        current = trace
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(span.id))
+            .max_by_key(|s| s.duration_ns);
+    }
+}
+
+/// `report workers`: per-worker utilization aggregated over every
+/// `exec.worker` event (one per worker per batch), plus stalls.
+fn cmd_workers(trace: &Trace) {
+    #[derive(Default)]
+    struct Acc {
+        batches: usize,
+        jobs: u64,
+        steals: u64,
+        busy_us: u64,
+        idle_us: u64,
+        steal_us: u64,
+        wall_us: u64,
+    }
+    let mut per_worker: BTreeMap<u64, Acc> = BTreeMap::new();
+    for e in trace.events.iter().filter(|e| e.name == "exec.worker") {
+        let get = |k: &str| num_u64(e.fields.get(k)).unwrap_or(0);
+        let acc = per_worker.entry(get("worker")).or_default();
+        acc.batches += 1;
+        acc.jobs += get("jobs");
+        acc.steals += get("steals");
+        acc.busy_us += get("busy_us");
+        acc.idle_us += get("idle_us");
+        acc.steal_us += get("steal_us");
+        acc.wall_us += get("wall_us");
+    }
+    if per_worker.is_empty() {
+        println!("report: no exec.worker events in this trace");
+        return;
+    }
+    println!(
+        "{:>6} {:>8} {:>6} {:>7} {:>12} {:>12} {:>12} {:>12} {:>6}",
+        "worker", "batches", "jobs", "steals", "busy_ms", "idle_ms", "steal_ms", "wall_ms", "util"
+    );
+    for (worker, acc) in &per_worker {
+        let util = if acc.wall_us == 0 {
+            0.0
+        } else {
+            100.0 * acc.busy_us as f64 / acc.wall_us as f64
+        };
+        println!(
+            "{:>6} {:>8} {:>6} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>12.3} {:>5.1}%",
+            worker,
+            acc.batches,
+            acc.jobs,
+            acc.steals,
+            acc.busy_us as f64 / 1e3,
+            acc.idle_us as f64 / 1e3,
+            acc.steal_us as f64 / 1e3,
+            acc.wall_us as f64 / 1e3,
+            util
+        );
+    }
+    let stalls: Vec<&EventRec> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "exec.stall")
+        .collect();
+    println!("\nstalls flagged: {}", stalls.len());
+    for e in stalls.iter().take(10) {
+        println!(
+            "  worker {} key {} — {} ms elapsed vs {} ms budget",
+            num_u64(e.fields.get("worker")).unwrap_or(0),
+            e.fields.get("key").and_then(Value::as_str).unwrap_or("?"),
+            num_u64(e.fields.get("elapsed_ms")).unwrap_or(0),
+            num_u64(e.fields.get("budget_ms")).unwrap_or(0),
+        );
+    }
+}
+
+fn load_bench(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    json::parse(text.trim()).map_err(|e| format!("{path} does not parse: {e}"))
+}
+
+fn bench_map(doc: &Value) -> Result<BTreeMap<&str, &Value>, String> {
+    let Some(Value::Arr(benches)) = doc.get("benchmarks") else {
+        return Err("'benchmarks' is not an array".to_string());
+    };
+    let mut map = BTreeMap::new();
+    for b in benches {
+        let Some(name) = b.get("name").and_then(Value::as_str) else {
+            return Err("benchmark row without a 'name'".to_string());
+        };
+        map.insert(name, b);
+    }
+    Ok(map)
+}
+
+/// `report compare`: gates `current` against `baseline`. Returns the
+/// process exit code.
+fn cmd_compare(current_path: &str, baseline_path: &str, counts_only: bool, wall_tol: f64) -> i32 {
+    let (current, baseline) = match (load_bench(current_path), load_bench(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("report: {e}");
+            return 1;
+        }
+    };
+    let schema = |d: &Value| d.get("schema_version").and_then(Value::as_num);
+    if schema(&current) != schema(&baseline) {
+        eprintln!(
+            "report: schema_version mismatch ({:?} vs {:?}) — regenerate the baseline",
+            schema(&current),
+            schema(&baseline)
+        );
+        return 1;
+    }
+    let (cur_map, base_map) = match (bench_map(&current), bench_map(&baseline)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("report: {e}");
+            return 1;
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (name, cur) in &cur_map {
+        let Some(base) = base_map.get(name) else {
+            eprintln!("report: FAIL {name}: not present in baseline {baseline_path}");
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        let mut drifts: Vec<String> = Vec::new();
+        for key in HARD_COUNT_KEYS {
+            let c = cur.get(key).and_then(Value::as_num);
+            let b = base.get(key).and_then(Value::as_num);
+            if c != b {
+                drifts.push(format!("{key} {b:?} -> {c:?}"));
+            }
+        }
+        for key in FLOAT_KEYS {
+            let c = cur.get(key).and_then(Value::as_num).unwrap_or(f64::NAN);
+            let b = base.get(key).and_then(Value::as_num).unwrap_or(f64::NAN);
+            let scale = b.abs().max(c.abs()).max(1e-12);
+            if !(c - b).abs().is_finite() || (c - b).abs() / scale > FLOAT_RTOL {
+                drifts.push(format!("{key} {b} -> {c}"));
+            }
+        }
+        // Wall time is machine- and load-dependent: always reported,
+        // fatal only past the tolerance (and never with --counts-only).
+        let wall_note = match (
+            base.get("wall_seconds").and_then(Value::as_num),
+            cur.get("wall_seconds").and_then(Value::as_num),
+        ) {
+            (Some(b), Some(c)) if b > 0.0 => {
+                let rel = (c - b) / b;
+                if rel > wall_tol && !counts_only {
+                    drifts.push(format!(
+                        "wall_seconds {b:.3} -> {c:.3} (+{:.0}% > {:.0}% tolerance)",
+                        rel * 100.0,
+                        wall_tol * 100.0
+                    ));
+                    String::new()
+                } else {
+                    format!("  wall {b:.3}s -> {c:.3}s ({:+.0}%)", rel * 100.0)
+                }
+            }
+            _ => String::new(),
+        };
+        if drifts.is_empty() {
+            println!("report: ok   {name}{wall_note}");
+        } else {
+            eprintln!("report: FAIL {name}: {}", drifts.join("; "));
+            failures += 1;
+        }
+    }
+    let skipped = base_map.len().saturating_sub(compared);
+    if skipped > 0 {
+        println!("report: {skipped} baseline benchmark(s) not in current run (skipped)");
+    }
+    if compared == 0 && failures == 0 {
+        eprintln!("report: FAIL: no benchmarks in common between the two files");
+        return 1;
+    }
+    if failures > 0 {
+        eprintln!(
+            "report: compare FAILED: {failures}/{} benchmark(s) drifted",
+            cur_map.len()
+        );
+        1
+    } else {
+        println!(
+            "report: compare OK ({compared} benchmark(s) match baseline{})",
+            if counts_only { ", counts only" } else { "" }
+        );
+        0
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: report jobs TRACE [--top N]\n\
+         \x20      report phases TRACE\n\
+         \x20      report workers TRACE\n\
+         \x20      report compare CURRENT BASELINE [--counts-only] [--wall-tolerance X]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+    };
+    match cmd.as_str() {
+        "jobs" | "phases" | "workers" => {
+            let Some(path) = args.get(1) else { usage() };
+            let mut top = 10usize;
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--top" => match rest.next().and_then(|v| v.parse::<usize>().ok()) {
+                        Some(n) if n > 0 => top = n,
+                        _ => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            let trace = match load_trace(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("report: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match cmd.as_str() {
+                "jobs" => cmd_jobs(&trace, top),
+                "phases" => cmd_phases(&trace),
+                _ => cmd_workers(&trace),
+            }
+        }
+        "compare" => {
+            let (Some(current), Some(baseline)) = (args.get(1), args.get(2)) else {
+                usage();
+            };
+            let mut counts_only = false;
+            let mut wall_tol = 0.5f64;
+            let mut rest = args[3..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--counts-only" => counts_only = true,
+                    "--wall-tolerance" => match rest.next().and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x > 0.0 => wall_tol = x,
+                        _ => usage(),
+                    },
+                    _ => usage(),
+                }
+            }
+            std::process::exit(cmd_compare(current, baseline, counts_only, wall_tol));
+        }
+        _ => usage(),
+    }
+}

@@ -732,8 +732,11 @@ fn prefetch_pending_pulses(
         cost_budget_units: limits.cost_budget_units,
         cost_spent_units: table.stats().cost_units,
         base_seed: ctx.base_seed,
+        stall_budget: None,
     };
+    paqoc_telemetry::gauge!("core.sweep_pending_pulses", jobs.len() as f64);
     let report = run_batch(&jobs, device, ctx.factory.as_ref(), &shared, &exec_opts);
+    paqoc_telemetry::gauge!("core.sweep_pending_pulses", 0.0);
     table.absorb_batch(&jobs, &report);
 }
 

@@ -115,6 +115,10 @@ pub struct ExecOptions {
     pub cost_spent_units: f64,
     /// Seed folded (XOR) into every per-key job seed.
     pub base_seed: u64,
+    /// Fixed per-job stall-watchdog budget. `None` derives the budget
+    /// from the job's predicted latency (see [`stall_budget`]); `Some`
+    /// overrides it uniformly — tests and latency-sensitive callers.
+    pub stall_budget: Option<Duration>,
 }
 
 impl Default for ExecOptions {
@@ -125,6 +129,67 @@ impl Default for ExecOptions {
             cost_budget_units: None,
             cost_spent_units: 0.0,
             base_seed: 0,
+            stall_budget: None,
+        }
+    }
+}
+
+/// Floor of the derived stall-watchdog budget: generations faster than
+/// this can never be flagged, however small their predicted latency.
+pub const STALL_BUDGET_FLOOR: Duration = Duration::from_millis(25);
+
+/// Wall-clock allowance per nanosecond of predicted latency when
+/// deriving a stall budget: bigger merge candidates get proportionally
+/// more time before the watchdog flags their worker.
+const STALL_BUDGET_WALL_PER_PREDICTED_NS: f64 = 10_000.0;
+
+/// How long a worker may spend generating one job before the watchdog
+/// journals an `exec.stall` event for it: the explicit
+/// [`ExecOptions::stall_budget`] when set, otherwise
+/// [`STALL_BUDGET_FLOOR`] + the job's predicted latency scaled by a
+/// wall-time allowance. Purely observational — a flagged job keeps
+/// running; the budget bounds silence, not work.
+pub fn stall_budget(job: &PulseJob, opts: &ExecOptions) -> Duration {
+    if let Some(budget) = opts.stall_budget {
+        return budget;
+    }
+    let scaled_ns = (job.priority.max(0.0) * STALL_BUDGET_WALL_PER_PREDICTED_NS).min(1e15);
+    STALL_BUDGET_FLOOR + Duration::from_nanos(scaled_ns as u64)
+}
+
+/// Per-worker utilization accounting for one batch: where this worker's
+/// wall time went, split into busy (executing jobs, dedup checks
+/// included), idle (waiting on its own empty deque, plus ramp-down) and
+/// steal (acquiring work from a victim's deque). The executor
+/// guarantees `busy + idle + steal ≈ wall` — the remainder is
+/// per-iteration bookkeeping measured in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index within the batch pool.
+    pub worker: usize,
+    /// Jobs this worker pulled from any deque (all outcomes, dedups and
+    /// skips included).
+    pub jobs: usize,
+    /// Jobs acquired by stealing from a victim's deque.
+    pub steals: usize,
+    /// Nanoseconds spent executing jobs.
+    pub busy_ns: u64,
+    /// Nanoseconds spent acquiring from the worker's own deque or
+    /// discovering that every deque is empty.
+    pub idle_ns: u64,
+    /// Nanoseconds spent acquiring stolen jobs.
+    pub steal_ns: u64,
+    /// Total wall time of this worker's run loop.
+    pub wall_ns: u64,
+}
+
+impl WorkerStats {
+    /// Busy share of this worker's wall time, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / self.wall_ns as f64
         }
     }
 }
@@ -152,6 +217,12 @@ pub struct BatchReport {
     pub cost_spent_units: f64,
     /// Wall-clock time of the whole batch.
     pub wall: Duration,
+    /// Per-worker utilization accounting, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Jobs the stall watchdog flagged (one `exec.stall` journal event
+    /// each). Zero when telemetry is disabled — the watchdog thread
+    /// only runs while collection is on.
+    pub stalls: usize,
 }
 
 impl BatchReport {
@@ -201,6 +272,68 @@ struct WorkerYield {
     done: Vec<(usize, JobStatus)>,
     /// Jobs that hit the in-flight dedup path, resolved after the join.
     pending: Vec<usize>,
+    /// This worker's utilization accounting.
+    stats: WorkerStats,
+}
+
+/// What a worker is generating right now, published for the stall
+/// watchdog. One slot per worker; the worker writes it before calling
+/// the source and clears it after, the watchdog reads it on its own
+/// thread and flags it at most once.
+struct ActiveJob {
+    idx: usize,
+    started: Instant,
+    flagged: bool,
+}
+
+/// Watchdog scan cadence. Shutdown latency is bounded by one tick.
+const WATCHDOG_TICK: Duration = Duration::from_millis(5);
+
+/// The stall watchdog: scans every worker's active-job slot and, when a
+/// generation has run past its [`stall_budget`], journals one
+/// `exec.stall` event for it (exactly once per stalled job — the slot's
+/// `flagged` bit is the latch). Observational only: the job keeps
+/// running, nothing is cancelled. Runs on its own thread, strictly off
+/// the job-execution path, and only while telemetry is enabled.
+fn watchdog(
+    jobs: &[PulseJob],
+    active: &[Mutex<Option<ActiveJob>>],
+    opts: &ExecOptions,
+    stop: &AtomicBool,
+    stall_count: &AtomicU64,
+) {
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(WATCHDOG_TICK);
+        for (worker, slot) in active.iter().enumerate() {
+            let Ok(mut guard) = slot.lock() else {
+                continue;
+            };
+            let Some(entry) = guard.as_mut() else {
+                continue;
+            };
+            if entry.flagged {
+                continue;
+            }
+            let job = &jobs[entry.idx];
+            let budget = stall_budget(job, opts);
+            let elapsed = entry.started.elapsed();
+            if elapsed < budget {
+                continue;
+            }
+            entry.flagged = true;
+            stall_count.fetch_add(1, Ordering::AcqRel);
+            paqoc_telemetry::counter("exec.stall", 1);
+            paqoc_telemetry::event!(
+                "exec.stall",
+                worker = worker as u64,
+                key = job.key.as_str(),
+                arity = job.qubits() as u64,
+                priority = job.priority,
+                elapsed_ms = elapsed.as_millis() as u64,
+                budget_ms = budget.as_millis() as u64,
+            );
+        }
+    }
 }
 
 /// Runs `jobs` across `opts.threads` work-stealing workers against the
@@ -244,13 +377,32 @@ pub fn run_batch(
     let over_budget = AtomicBool::new(false);
     let batch_cost = AtomicCost::new(0.0);
 
+    // Live-metrics plumbing: queue-depth gauges for the flight recorder
+    // and active-job slots for the stall watchdog. All of it is gated
+    // on telemetry being enabled and none of it touches the pulses, so
+    // the threads=1 ≡ threads=N determinism contract is unaffected.
+    let metrics_on = paqoc_telemetry::enabled();
+    if metrics_on {
+        paqoc_telemetry::add_gauge("exec.jobs_pending", jobs.len() as f64);
+    }
+    let active: Vec<Mutex<Option<ActiveJob>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    let stall_count = AtomicU64::new(0);
+    let watchdog_stop = AtomicBool::new(false);
+
     let yields: Vec<WorkerYield> = std::thread::scope(|scope| {
+        if metrics_on {
+            let active = &active;
+            let stop = &watchdog_stop;
+            let stall_count = &stall_count;
+            scope.spawn(move || watchdog(jobs, active, opts, stop, stall_count));
+        }
         let handles: Vec<_> = (0..threads)
             .map(|me| {
                 let queues = &queues;
                 let spent = &spent;
                 let over_budget = &over_budget;
                 let batch_cost = &batch_cost;
+                let active = &active;
                 scope.spawn(move || {
                     worker(
                         me,
@@ -264,31 +416,39 @@ pub fn run_batch(
                         over_budget,
                         batch_cost,
                         batch_id,
+                        &active[me],
                     )
                 })
             })
             .collect();
-        handles
+        let yields = handles
             .into_iter()
             .map(|h| {
                 h.join().unwrap_or_else(|_| WorkerYield {
                     done: Vec::new(),
                     pending: Vec::new(),
+                    stats: WorkerStats::default(),
                 })
             })
-            .collect()
+            .collect();
+        // Workers are done; release the watchdog (joined by the scope).
+        watchdog_stop.store(true, Ordering::Release);
+        yields
     });
 
     // Stitch worker results back into input order, then resolve the
     // dedup losers now that every in-flight generation has settled.
     let mut statuses = vec![JobStatus::Skipped(SkipReason::Deadline); jobs.len()];
     let mut pending = Vec::new();
+    let mut workers = Vec::with_capacity(yields.len());
     for y in yields {
         for (idx, status) in y.done {
             statuses[idx] = status;
         }
         pending.extend(y.pending);
+        workers.push(y.stats);
     }
+    workers.sort_by_key(|w| w.worker);
     for idx in pending {
         let key = &jobs[idx].key;
         statuses[idx] = if let Some(est) = table.get(key) {
@@ -304,10 +464,27 @@ pub fn run_batch(
         statuses,
         cost_spent_units: batch_cost.load(),
         wall: start.elapsed(),
+        workers,
+        stalls: stall_count.load(Ordering::Acquire) as usize,
         ..BatchReport::default()
     };
     report.tally();
     if paqoc_telemetry::enabled() {
+        for w in &report.workers {
+            paqoc_telemetry::observe("exec.worker.utilization", w.utilization());
+            paqoc_telemetry::observe("exec.worker.busy_ms", w.busy_ns as f64 / 1e6);
+            paqoc_telemetry::event!(
+                "exec.worker",
+                worker = w.worker as u64,
+                jobs = w.jobs as u64,
+                steals = w.steals as u64,
+                busy_us = w.busy_ns / 1_000,
+                idle_us = w.idle_ns / 1_000,
+                steal_us = w.steal_ns / 1_000,
+                wall_us = w.wall_ns / 1_000,
+                utilization = w.utilization(),
+            );
+        }
         paqoc_telemetry::event!(
             "exec.batch",
             jobs = jobs.len() as u64,
@@ -319,6 +496,7 @@ pub fn run_batch(
             failures = report.failures as u64,
             panics = report.panics as u64,
             skipped = report.skipped as u64,
+            stalls = report.stalls as u64,
             cost_units = report.cost_spent_units,
             wall_us = report.wall.as_micros() as u64,
         );
@@ -329,6 +507,17 @@ pub fn run_batch(
 /// Hard ceiling on batch workers, matching
 /// [`MAX_THREADS`](crate::MAX_THREADS).
 const MAX_BATCH_THREADS: usize = 64;
+
+/// How one pulled job resolved inside the worker loop.
+enum Disposition {
+    Done(JobStatus),
+    /// In-flight dedup: resolved after the batch joins.
+    Pending,
+}
+
+fn elapsed_ns(since: Instant) -> u64 {
+    since.elapsed().as_nanos().min(u64::MAX as u128) as u64
+}
 
 #[allow(clippy::too_many_arguments)]
 fn worker(
@@ -343,100 +532,187 @@ fn worker(
     over_budget: &AtomicBool,
     batch_cost: &AtomicCost,
     batch_id: Option<u64>,
+    active: &Mutex<Option<ActiveJob>>,
 ) -> WorkerYield {
     // Worker spans run on this thread's own span stack but are linked
     // to the batch span, so the merged journal keeps the tree intact.
     let _span = paqoc_telemetry::span_with_parent("exec.worker", batch_id);
+    let metrics_on = paqoc_telemetry::enabled();
+    let worker_start = Instant::now();
+    let mut stats = WorkerStats {
+        worker: me,
+        ..WorkerStats::default()
+    };
     let mut done = Vec::new();
     let mut pending = Vec::new();
 
-    while let Some(idx) = next_job(me, queues) {
-        let job = &jobs[idx];
-        if let Some(deadline) = opts.deadline {
-            if Instant::now() >= deadline {
-                done.push((idx, JobStatus::Skipped(SkipReason::Deadline)));
-                continue;
-            }
-        }
-        if let Some(budget) = opts.cost_budget_units {
-            if over_budget.load(Ordering::Acquire) || spent.load() >= budget {
-                over_budget.store(true, Ordering::Release);
-                done.push((idx, JobStatus::Skipped(SkipReason::CostBudget)));
-                continue;
-            }
-        }
-        let status = match table.claim(&job.key) {
-            Claim::Hit(est, prov) => JobStatus::Hit(est, prov),
-            Claim::Quarantined => JobStatus::Skipped(SkipReason::Quarantined),
-            Claim::InFlight => {
-                paqoc_telemetry::counter("exec.dedup", 1);
-                paqoc_telemetry::event!(
-                    "exec.dedup",
-                    worker = me as u64,
-                    arity = job.qubits() as u64,
-                    key = job.key.as_str(),
-                );
-                pending.push(idx);
-                continue;
-            }
-            Claim::Claimed => {
-                let seed = opts.base_seed ^ job_seed(&job.key);
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    let mut source = factory.make(seed);
-                    source.try_generate(&job.group, device, job.target_fidelity, None)
-                }));
-                match outcome {
-                    Ok(Ok(est)) => {
-                        table.complete(&job.key, est);
-                        spent.add(est.cost_units);
-                        batch_cost.add(est.cost_units);
-                        JobStatus::Generated(est)
-                    }
-                    Ok(Err(err)) => {
-                        table.abandon(&job.key);
-                        JobStatus::Failed(err.to_string())
-                    }
-                    Err(payload) => {
-                        table.quarantine(&job.key);
-                        let message = panic_message(payload.as_ref());
-                        paqoc_telemetry::counter("exec.panic", 1);
-                        paqoc_telemetry::event!(
-                            "exec.panic",
-                            worker = me as u64,
-                            key = job.key.as_str(),
-                            message = message.as_str(),
-                        );
-                        JobStatus::Panicked(message)
-                    }
-                }
-            }
+    loop {
+        // Acquisition time splits by provenance: own-deque pops (and
+        // the final every-deque-is-empty scan) count as idle, stolen
+        // pops as steal — so busy + idle + steal covers the loop.
+        let acquire_start = Instant::now();
+        let acquired = next_job(me, queues);
+        let acquire_ns = elapsed_ns(acquire_start);
+        let Some((idx, stolen)) = acquired else {
+            stats.idle_ns += acquire_ns;
+            break;
         };
-        if paqoc_telemetry::enabled() {
-            paqoc_telemetry::event!(
-                "exec.job",
-                worker = me as u64,
-                arity = job.qubits() as u64,
-                outcome = status_label(&status),
-                priority = job.priority,
-            );
+        if stolen {
+            stats.steals += 1;
+            stats.steal_ns += acquire_ns;
+        } else {
+            stats.idle_ns += acquire_ns;
         }
-        done.push((idx, status));
+        if metrics_on {
+            paqoc_telemetry::add_gauge("exec.jobs_pending", -1.0);
+            paqoc_telemetry::add_gauge("exec.workers_busy", 1.0);
+        }
+        let busy_start = Instant::now();
+        let disposition = run_one(
+            me,
+            idx,
+            jobs,
+            device,
+            factory,
+            table,
+            opts,
+            spent,
+            over_budget,
+            batch_cost,
+            active,
+        );
+        let busy_ns = elapsed_ns(busy_start);
+        stats.busy_ns += busy_ns;
+        stats.jobs += 1;
+        if metrics_on {
+            paqoc_telemetry::add_gauge("exec.workers_busy", -1.0);
+        }
+        match disposition {
+            Disposition::Done(status) => {
+                if metrics_on {
+                    paqoc_telemetry::event!(
+                        "exec.job",
+                        worker = me as u64,
+                        arity = jobs[idx].qubits() as u64,
+                        outcome = status_label(&status),
+                        priority = jobs[idx].priority,
+                        wall_us = busy_ns / 1_000,
+                    );
+                }
+                done.push((idx, status));
+            }
+            Disposition::Pending => pending.push(idx),
+        }
     }
-    WorkerYield { done, pending }
+    stats.wall_ns = elapsed_ns(worker_start);
+    WorkerYield {
+        done,
+        pending,
+        stats,
+    }
 }
 
-/// Pops the worker's own front, else steals a victim's back.
-fn next_job(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<usize> {
+/// Executes one pulled job: shared deadline/budget gates, then the
+/// claim protocol and (on a successful claim) the actual generation,
+/// with the active-job slot published around the source call so the
+/// stall watchdog can see it.
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    me: usize,
+    idx: usize,
+    jobs: &[PulseJob],
+    device: &Device,
+    factory: &dyn PulseSourceFactory,
+    table: &SharedPulseTable,
+    opts: &ExecOptions,
+    spent: &AtomicCost,
+    over_budget: &AtomicBool,
+    batch_cost: &AtomicCost,
+    active: &Mutex<Option<ActiveJob>>,
+) -> Disposition {
+    let job = &jobs[idx];
+    if let Some(deadline) = opts.deadline {
+        if Instant::now() >= deadline {
+            return Disposition::Done(JobStatus::Skipped(SkipReason::Deadline));
+        }
+    }
+    if let Some(budget) = opts.cost_budget_units {
+        if over_budget.load(Ordering::Acquire) || spent.load() >= budget {
+            over_budget.store(true, Ordering::Release);
+            return Disposition::Done(JobStatus::Skipped(SkipReason::CostBudget));
+        }
+    }
+    let status = match table.claim(&job.key) {
+        Claim::Hit(est, prov) => JobStatus::Hit(est, prov),
+        Claim::Quarantined => JobStatus::Skipped(SkipReason::Quarantined),
+        Claim::InFlight => {
+            paqoc_telemetry::counter("exec.dedup", 1);
+            paqoc_telemetry::event!(
+                "exec.dedup",
+                worker = me as u64,
+                arity = job.qubits() as u64,
+                key = job.key.as_str(),
+            );
+            return Disposition::Pending;
+        }
+        Claim::Claimed => {
+            if let Ok(mut slot) = active.lock() {
+                *slot = Some(ActiveJob {
+                    idx,
+                    started: Instant::now(),
+                    flagged: false,
+                });
+            }
+            let seed = opts.base_seed ^ job_seed(&job.key);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut source = factory.make(seed);
+                source.try_generate(&job.group, device, job.target_fidelity, None)
+            }));
+            if let Ok(mut slot) = active.lock() {
+                *slot = None;
+            }
+            match outcome {
+                Ok(Ok(est)) => {
+                    table.complete(&job.key, est);
+                    spent.add(est.cost_units);
+                    batch_cost.add(est.cost_units);
+                    JobStatus::Generated(est)
+                }
+                Ok(Err(err)) => {
+                    table.abandon(&job.key);
+                    JobStatus::Failed(err.to_string())
+                }
+                Err(payload) => {
+                    table.quarantine(&job.key);
+                    let message = panic_message(payload.as_ref());
+                    paqoc_telemetry::counter("exec.panic", 1);
+                    paqoc_telemetry::event!(
+                        "exec.panic",
+                        worker = me as u64,
+                        key = job.key.as_str(),
+                        message = message.as_str(),
+                    );
+                    JobStatus::Panicked(message)
+                }
+            }
+        }
+    };
+    Disposition::Done(status)
+}
+
+/// Pops the worker's own front, else steals a victim's back. The flag
+/// is `true` when the job was stolen.
+fn next_job(me: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<(usize, bool)> {
     if let Ok(mut own) = queues[me].lock() {
         if let Some(idx) = own.pop_front() {
-            return Some(idx);
+            return Some((idx, false));
         }
     }
     for offset in 1..queues.len() {
         let victim = (me + offset) % queues.len();
         if let Ok(mut q) = queues[victim].lock() {
             if let Some(idx) = q.pop_back() {
-                return Some(idx);
+                return Some((idx, true));
             }
         }
     }

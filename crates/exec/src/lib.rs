@@ -22,6 +22,10 @@
 //!   quarantine ([`executor`]).
 //! * [`parallel_map`] — order-preserving parallel map used by the
 //!   bench harness to compile the 17-benchmark suite concurrently.
+//! * [`FlightRecorder`] — opt-in background metrics sampler
+//!   (`PAQOC_METRICS_MS`) snapshotting gauges and process CPU/RSS into
+//!   the event journal, strictly off the job-execution path
+//!   ([`recorder`]).
 //!
 //! Thread count resolves as: explicit option → `PAQOC_THREADS` env →
 //! `std::thread::available_parallelism()`, clamped to
@@ -32,10 +36,15 @@
 
 pub mod executor;
 pub mod factory;
+pub mod recorder;
 pub mod shared_table;
 
-pub use executor::{run_batch, BatchReport, ExecOptions, JobStatus, PulseJob, SkipReason};
+pub use executor::{
+    run_batch, stall_budget, BatchReport, ExecOptions, JobStatus, PulseJob, SkipReason,
+    WorkerStats, STALL_BUDGET_FLOOR,
+};
 pub use factory::{job_seed, AnalyticFactory, FaultyAnalyticFactory, PulseSourceFactory};
+pub use recorder::{interval_from_env, FlightRecorder, METRICS_ENV};
 pub use shared_table::{Claim, Provenance, SharedPulseTable, DEFAULT_SHARDS};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

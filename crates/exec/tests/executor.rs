@@ -14,6 +14,8 @@ use paqoc_exec::{
 };
 use std::time::{Duration, Instant};
 
+const STALL_EVENT: &str = "exec.stall";
+
 fn cx_group(a: usize, b: usize) -> Vec<Instruction> {
     vec![Instruction::new(GateKind::Cx, vec![a, b], vec![])]
 }
@@ -278,6 +280,138 @@ fn stall_fault_interacts_with_shared_deadline() {
         "a 300 ms stalled batch cannot fit a 60 ms deadline: {:?}",
         partial.statuses
     );
+}
+
+/// Per-worker accounting must cover the worker's whole run loop: every
+/// job is attributed to exactly one worker, and each worker's
+/// `busy + idle + steal` accounts for its wall time up to per-iteration
+/// bookkeeping.
+#[test]
+fn worker_accounting_covers_wall_time() {
+    let device = Device::grid5x5();
+    // A 20 ms stall per generation makes busy time dominate, so the
+    // utilization assertion is meaningful rather than noise-bound.
+    let factory = FaultyAnalyticFactory::new(FaultConfig::stalling(Duration::from_millis(20)));
+    let jobs: Vec<PulseJob> = (0..8)
+        .map(|i| job(&format!("u{i}"), cx_group(i, i + 1), 0.0))
+        .collect();
+    let report = run_batch(
+        &jobs,
+        &device,
+        &factory,
+        &SharedPulseTable::new(),
+        &ExecOptions {
+            threads: 4,
+            // Keep the watchdog quiet: this test is about accounting.
+            stall_budget: Some(Duration::from_secs(3600)),
+            ..ExecOptions::default()
+        },
+    );
+
+    assert_eq!(report.workers.len(), 4, "one stats row per worker");
+    for (i, w) in report.workers.iter().enumerate() {
+        assert_eq!(w.worker, i, "rows sorted by worker index");
+        let accounted = w.busy_ns + w.idle_ns + w.steal_ns;
+        assert!(
+            accounted <= w.wall_ns,
+            "worker {i}: accounted {accounted} ns exceeds wall {} ns",
+            w.wall_ns
+        );
+        assert!(
+            w.wall_ns - accounted < 10_000_000,
+            "worker {i}: {} ns of wall time unaccounted (busy+idle+steal must ≈ wall)",
+            w.wall_ns - accounted
+        );
+        let util = w.utilization();
+        assert!((0.0..=1.0).contains(&util));
+        if w.jobs > 0 {
+            assert!(
+                w.busy_ns >= 15_000_000,
+                "worker {i} ran {} stalled jobs but was busy only {} ns",
+                w.jobs,
+                w.busy_ns
+            );
+        }
+    }
+    let pulled: usize = report.workers.iter().map(|w| w.jobs).sum();
+    assert_eq!(pulled, jobs.len(), "every job pulled exactly once");
+    let steals: usize = report.workers.iter().map(|w| w.steals).sum();
+    assert!(
+        steals <= pulled,
+        "steal count is a subset of pulled jobs ({steals} vs {pulled})"
+    );
+}
+
+/// The stall watchdog flags each stalled generation exactly once: a
+/// 75 ms injected stall blows through the derived 25 ms floor budget,
+/// producing one `exec.stall` journal event per job — never more, even
+/// though the watchdog rescans every 5 ms for the stall's whole tail.
+#[test]
+fn watchdog_flags_each_stalled_job_exactly_once() {
+    paqoc_telemetry::set_enabled(true);
+    let device = Device::grid5x5();
+    let factory = FaultyAnalyticFactory::new(FaultConfig::stalling(Duration::from_millis(75)));
+    // Unique keys so concurrent tests sharing the global journal can't
+    // collide with the per-key assertions below.
+    let keys = ["wdog-a", "wdog-b", "wdog-c"];
+    let jobs: Vec<PulseJob> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| job(k, cx_group(i, i + 1), 0.0))
+        .collect();
+    let report = run_batch(
+        &jobs,
+        &device,
+        &factory,
+        &SharedPulseTable::new(),
+        &ExecOptions {
+            threads: 3,
+            ..ExecOptions::default()
+        },
+    );
+
+    assert_eq!(report.generated, 3, "stalled jobs still complete");
+    assert_eq!(
+        report.stalls, 3,
+        "every 75 ms stall must trip the 25 ms floor budget"
+    );
+    let snap = paqoc_telemetry::snapshot();
+    for key in keys {
+        let flagged = snap
+            .events
+            .iter()
+            .filter(|e| {
+                e.name == STALL_EVENT
+                    && e.fields.iter().any(
+                        |(k, v)| matches!(v, paqoc_telemetry::FieldValue::Str(s) if k == "key" && s == key),
+                    )
+            })
+            .count();
+        assert_eq!(flagged, 1, "job {key} must be flagged exactly once");
+    }
+    assert!(
+        snap.events.iter().any(|e| {
+            e.name == STALL_EVENT
+                && e.fields.iter().any(|(k, _)| k == "budget_ms")
+                && e.fields.iter().any(|(k, _)| k == "elapsed_ms")
+        }),
+        "stall events carry budget and elapsed fields"
+    );
+
+    // A generous explicit budget silences the watchdog entirely.
+    let quiet = run_batch(
+        &jobs,
+        &device,
+        &factory,
+        &SharedPulseTable::new(),
+        &ExecOptions {
+            threads: 3,
+            stall_budget: Some(Duration::from_secs(3600)),
+            base_seed: 1,
+            ..ExecOptions::default()
+        },
+    );
+    assert_eq!(quiet.stalls, 0, "explicit budget overrides the floor");
 }
 
 /// Store-backed tables resolve cross-process hits with store

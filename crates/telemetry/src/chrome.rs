@@ -4,13 +4,18 @@
 //!
 //! Mapping: every span becomes a complete event (`ph:"X"`) on its
 //! thread's track, every journal event an instant event (`ph:"i"`,
-//! thread scope) with its typed fields as `args`, and every counter a
-//! final counter sample (`ph:"C"`). Timestamps are microseconds since
-//! the telemetry epoch, and the emitted array is sorted by timestamp so
-//! the file is monotonic — some viewers reject out-of-order traces.
+//! thread scope) with its typed fields as `args`, and every counter and
+//! gauge a final counter sample (`ph:"C"`). Flight-recorder samples —
+//! journal events named [`METRICS_SAMPLE_EVENT`] — are special-cased:
+//! each numeric field becomes its own timestamped counter event, so
+//! Perfetto renders live metric timelines (queue depth, RSS, CPU ms)
+//! alongside the span slices instead of a wall of instant arrows.
+//! Timestamps are microseconds since the telemetry epoch, and the
+//! emitted array is sorted by timestamp so the file is monotonic — some
+//! viewers reject out-of-order traces.
 
 use crate::json::write_escaped;
-use crate::{FieldValue, Snapshot};
+use crate::{FieldValue, Snapshot, METRICS_SAMPLE_EVENT};
 use std::fmt::Write as _;
 
 /// One pre-rendered trace event, keyed for the monotonic sort.
@@ -50,8 +55,9 @@ impl Snapshot {
     /// escaped through the same writer as the JSONL export, and events
     /// appear in non-decreasing timestamp order.
     pub fn to_chrome_trace(&self) -> String {
-        let mut events: Vec<TraceEvent> =
-            Vec::with_capacity(self.spans.len() + self.events.len() + self.counters.len());
+        let mut events: Vec<TraceEvent> = Vec::with_capacity(
+            self.spans.len() + self.events.len() + self.counters.len() + self.gauges.len(),
+        );
         for s in &self.spans {
             let mut body = String::new();
             body.push_str("{\"ph\":\"X\",\"pid\":0,\"tid\":");
@@ -78,6 +84,32 @@ impl Snapshot {
             });
         }
         for e in &self.events {
+            // Flight-recorder samples become counter timelines: one
+            // counter event per numeric field, named by the field, so
+            // each metric draws as its own graph track.
+            if e.name == METRICS_SAMPLE_EVENT {
+                for (k, v) in &e.fields {
+                    let value = match v {
+                        FieldValue::U64(n) => *n as f64,
+                        FieldValue::I64(n) => *n as f64,
+                        FieldValue::F64(x) if x.is_finite() => *x,
+                        _ => continue,
+                    };
+                    let mut body = String::new();
+                    body.push_str("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+                    write_ts(&mut body, e.ts_ns);
+                    body.push_str(",\"cat\":\"metric\",\"name\":");
+                    write_escaped(&mut body, k);
+                    body.push_str(",\"args\":{\"value\":");
+                    let _ = write!(body, "{value}");
+                    body.push_str("}}");
+                    events.push(TraceEvent {
+                        ts_ns: e.ts_ns,
+                        body,
+                    });
+                }
+                continue;
+            }
             let mut body = String::new();
             body.push_str("{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":");
             let _ = write!(body, "{}", e.thread);
@@ -99,14 +131,31 @@ impl Snapshot {
                 body,
             });
         }
-        // Counter totals as one sample each, stamped after everything
-        // else so they read as the run's final state.
+        // Counter totals and gauge levels as one sample each, stamped
+        // after everything else so they read as the run's final state.
         let last_ts = events.iter().map(|e| e.ts_ns).max().unwrap_or(0);
         for (name, value) in &self.counters {
             let mut body = String::new();
             body.push_str("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
             write_ts(&mut body, last_ts);
             body.push_str(",\"cat\":\"counter\",\"name\":");
+            write_escaped(&mut body, name);
+            body.push_str(",\"args\":{\"value\":");
+            let _ = write!(body, "{value}");
+            body.push_str("}}");
+            events.push(TraceEvent {
+                ts_ns: last_ts,
+                body,
+            });
+        }
+        for (name, value) in &self.gauges {
+            if !value.is_finite() {
+                continue;
+            }
+            let mut body = String::new();
+            body.push_str("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+            write_ts(&mut body, last_ts);
+            body.push_str(",\"cat\":\"gauge\",\"name\":");
             write_escaped(&mut body, name);
             body.push_str(",\"args\":{\"value\":");
             let _ = write!(body, "{value}");

@@ -11,6 +11,13 @@
 //!   table hits, GRAPE iterations, SABRE swaps, …); histograms carry a
 //!   fixed-size log-bucket sketch, so [`Histogram::quantile`] answers
 //!   p50/p90/p99 without storing samples;
+//! * **Gauges** — [`set_gauge`] / [`add_gauge`] for instantaneous
+//!   levels (queue depth, live workers, RSS); last-write-wins, sampled
+//!   periodically by the executor's flight recorder and rendered as
+//!   Perfetto counter timelines;
+//! * **Process resources** — a zero-dependency `/proc` reader
+//!   ([`resources::sample`]) exposing CPU time and RSS on Linux,
+//!   gracefully `None` elsewhere;
 //! * **Events** — a structured decision journal ([`event`]): named
 //!   records with typed fields ([`FieldValue`]), stamped with time,
 //!   thread and enclosing span, ring-buffered so unbounded workloads
@@ -51,6 +58,7 @@
 mod chrome;
 pub mod json;
 mod report;
+pub mod resources;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -60,6 +68,14 @@ use std::time::Instant;
 
 /// The environment variable that switches tracing on.
 pub const ENV_VAR: &str = "PAQOC_TRACE";
+
+/// Journal-event name reserved for flight-recorder metric samples.
+/// Events with this name carry one numeric field per sampled quantity
+/// (process CPU/RSS plus every live gauge); the Chrome-trace exporter
+/// renders each field as a counter-timeline series (`"ph":"C"`) instead
+/// of an instant event, so Perfetto draws metric graphs alongside the
+/// span slices.
+pub const METRICS_SAMPLE_EVENT: &str = "metrics.sample";
 
 // Tri-state so the env var is consulted exactly once, lazily, and the
 // steady-state check stays a single relaxed atomic load.
@@ -83,6 +99,15 @@ pub const EVENT_CAPACITY: usize = 65_536;
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Gauges live outside the main registry behind their own lock: they
+/// are sampled by the flight-recorder thread at a fixed cadence, and a
+/// separate stripe keeps that sampling from contending with span/event
+/// recording on the hot compile path.
+fn gauge_map() -> &'static Mutex<BTreeMap<String, f64>> {
+    static GAUGES: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    GAUGES.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 fn epoch() -> Instant {
@@ -181,14 +206,22 @@ pub fn set_enabled(on: bool) {
     STATE.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
-/// Discards every recorded span, counter, histogram and event, and
-/// invalidates every thread's span stack (each stack self-clears on its
-/// next use, so parent ids from before the reset cannot leak into spans
-/// recorded after it).
+/// Discards every recorded span, counter, histogram, gauge and event,
+/// and invalidates every thread's span stack (each stack self-clears on
+/// its next use, so parent ids from before the reset cannot leak into
+/// spans recorded after it).
 pub fn reset() {
     RESET_GENERATION.fetch_add(1, Ordering::Relaxed);
     let mut reg = registry().lock().expect("telemetry registry poisoned");
     *reg = Registry::default();
+    drop(reg);
+    // Gauges live outside the registry (see `gauge_map`), so they need
+    // their own wipe — a stale `exec.jobs_pending` surviving a reset
+    // would corrupt every later flight-recorder sample.
+    gauge_map()
+        .lock()
+        .expect("telemetry gauge map poisoned")
+        .clear();
 }
 
 /// One completed span: a named scope with wall-clock timing and its
@@ -438,6 +471,8 @@ pub struct Snapshot {
     pub spans: Vec<SpanRecord>,
     /// Counter totals by name.
     pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name (instantaneous values at snapshot time).
+    pub gauges: BTreeMap<String, f64>,
     /// Histogram aggregates by name.
     pub histograms: BTreeMap<String, Histogram>,
     /// The event journal, oldest retained record first.
@@ -452,6 +487,7 @@ pub fn snapshot() -> Snapshot {
     Snapshot {
         spans: reg.spans.clone(),
         counters: reg.counters.clone(),
+        gauges: gauges(),
         histograms: reg.histograms.clone(),
         events: reg.events.iter().cloned().collect(),
         events_dropped: reg.events_dropped,
@@ -588,6 +624,50 @@ pub fn observe(name: &str, value: f64) {
         .record(value);
 }
 
+/// Sets the named gauge to `value`. Gauges are *last-write-wins*
+/// instantaneous levels (queue depth, live workers, RSS) — the
+/// complement to monotone [`counter`]s — sampled periodically by the
+/// flight recorder and exported as Chrome-trace counter timelines.
+/// No-op when collection is disabled.
+pub fn set_gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = gauge_map().lock().expect("telemetry gauge map poisoned");
+    map.insert(name.to_string(), value);
+}
+
+/// Adds `delta` (possibly negative) to the named gauge, creating it at
+/// zero first, and returns the new level. No-op (returning 0) when
+/// collection is disabled.
+pub fn add_gauge(name: &str, delta: f64) -> f64 {
+    if !enabled() {
+        return 0.0;
+    }
+    let mut map = gauge_map().lock().expect("telemetry gauge map poisoned");
+    let slot = map.entry(name.to_string()).or_insert(0.0);
+    *slot += delta;
+    *slot
+}
+
+/// Current level of the named gauge, if it has ever been set.
+pub fn gauge(name: &str) -> Option<f64> {
+    gauge_map()
+        .lock()
+        .expect("telemetry gauge map poisoned")
+        .get(name)
+        .copied()
+}
+
+/// A copy of every gauge's current level — what the flight recorder
+/// folds into each `metrics.sample` journal event.
+pub fn gauges() -> BTreeMap<String, f64> {
+    gauge_map()
+        .lock()
+        .expect("telemetry gauge map poisoned")
+        .clone()
+}
+
 /// Records one journal event with typed fields. No-op (one relaxed
 /// atomic load, no allocation beyond what the caller already built)
 /// when collection is disabled — hot paths with expensive field values
@@ -678,6 +758,14 @@ macro_rules! event {
                 &[$((stringify!($key), $crate::FieldValue::from($value))),*],
             );
         }
+    };
+}
+
+/// Sets a gauge level; sugar for [`set_gauge`].
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::set_gauge($name, $value)
     };
 }
 

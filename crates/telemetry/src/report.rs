@@ -8,9 +8,9 @@ use std::fmt::Write as _;
 
 impl Snapshot {
     /// Serializes the snapshot as JSON Lines: one object per span (in
-    /// completion order), then one per counter, one per histogram
-    /// (percentiles included) and one per journal event, plus an
-    /// `events_dropped` line when the ring buffer evicted anything.
+    /// completion order), then one per counter, one per gauge, one per
+    /// histogram (percentiles included) and one per journal event, plus
+    /// an `events_dropped` line when the ring buffer evicted anything.
     /// Every line parses back with [`crate::json::parse`].
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
@@ -36,6 +36,13 @@ impl Snapshot {
             out.push_str("{\"type\":\"counter\",\"name\":");
             write_escaped(&mut out, name);
             let _ = writeln!(out, ",\"value\":{value}}}");
+        }
+        for (name, value) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            write_escaped(&mut out, name);
+            out.push_str(",\"value\":");
+            write_f64(&mut out, *value);
+            out.push_str("}\n");
         }
         for (name, h) in &self.histograms {
             out.push_str("{\"type\":\"histogram\",\"name\":");
@@ -136,6 +143,12 @@ impl Snapshot {
             out.push_str("── counters ───────────────────────────────────────────────\n");
             for (name, value) in &self.counters {
                 let _ = writeln!(out, "{name:<44} {value:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("── gauges (final levels) ──────────────────────────────────\n");
+            for (name, value) in &self.gauges {
+                let _ = writeln!(out, "{name:<44} {value:>12.2}");
             }
         }
         if !self.histograms.is_empty() {

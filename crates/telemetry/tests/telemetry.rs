@@ -4,7 +4,8 @@
 
 use paqoc_telemetry::json::{parse, Value};
 use paqoc_telemetry::{
-    counter, event, observe, reset, set_enabled, snapshot, span, FieldValue, EVENT_CAPACITY,
+    add_gauge, counter, event, gauge, observe, reset, set_enabled, set_gauge, snapshot, span,
+    FieldValue, EVENT_CAPACITY, METRICS_SAMPLE_EVENT,
 };
 use std::sync::Mutex;
 
@@ -256,6 +257,133 @@ fn reset_clears_per_thread_span_stacks() {
         snap.spans_named("fresh")[0].parent,
         None,
         "reset must clear the per-thread span stack"
+    );
+}
+
+#[test]
+fn gauges_set_add_and_land_in_every_export() {
+    let _lock = fresh();
+    set_gauge("exec.queue_depth", 17.0);
+    assert_eq!(add_gauge("exec.queue_depth", -2.0), 15.0);
+    assert_eq!(add_gauge("exec.workers_busy", 3.0), 3.0);
+    assert_eq!(gauge("exec.queue_depth"), Some(15.0));
+    let snap = snapshot();
+    set_enabled(false);
+
+    assert_eq!(snap.gauges["exec.queue_depth"], 15.0);
+    assert_eq!(snap.gauges["exec.workers_busy"], 3.0);
+
+    // JSONL: a typed gauge line that parses back.
+    let jsonl = snap.to_jsonl();
+    let line = jsonl
+        .lines()
+        .find(|l| l.contains("\"type\":\"gauge\"") && l.contains("exec.queue_depth"))
+        .expect("gauge line present");
+    let v = parse(line).expect("gauge line parses");
+    assert_eq!(v.get("value").and_then(Value::as_num), Some(15.0));
+
+    // Chrome: a final ph:"C" sample per gauge.
+    let trace = parse(&snap.to_chrome_trace()).expect("chrome trace parses");
+    let Some(Value::Arr(events)) = trace.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let sample = events
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("exec.workers_busy"))
+        .expect("gauge counter sample present");
+    assert_eq!(sample.get("ph").and_then(Value::as_str), Some("C"));
+    assert_eq!(
+        sample
+            .get("args")
+            .and_then(|a| a.get("value"))
+            .and_then(Value::as_num),
+        Some(3.0)
+    );
+
+    // Human-readable report shows the level.
+    assert!(snap.render_report().contains("exec.queue_depth"));
+}
+
+/// Regression mirror of `reset_clears_per_thread_span_stacks`: the
+/// gauge map lives outside the main registry behind its own lock, so
+/// `reset()` must wipe it explicitly — a stale level surviving a reset
+/// would poison every later flight-recorder sample.
+#[test]
+fn reset_clears_the_gauge_map() {
+    let _lock = fresh();
+    set_gauge("stale.level", 42.0);
+    add_gauge("stale.accum", 7.0);
+    assert_eq!(gauge("stale.level"), Some(42.0));
+    reset();
+    assert_eq!(gauge("stale.level"), None, "reset must clear gauges");
+    assert_eq!(
+        add_gauge("stale.accum", 1.0),
+        1.0,
+        "post-reset adds start from zero, not the stale level"
+    );
+    let snap = snapshot();
+    set_enabled(false);
+    assert_eq!(snap.gauges.len(), 1);
+    assert_eq!(snap.gauges["stale.accum"], 1.0);
+}
+
+/// Flight-recorder samples (`metrics.sample` events) render as counter
+/// timelines in the Chrome export: one ph:"C" event per numeric field
+/// per sample, named by the field — not as instant events.
+#[test]
+fn metrics_sample_events_become_counter_timelines() {
+    let _lock = fresh();
+    for tick in 0..3u64 {
+        event(
+            METRICS_SAMPLE_EVENT,
+            &[
+                ("rss_bytes", FieldValue::U64(1000 + tick)),
+                ("exec.queue_depth", FieldValue::F64(5.0 - tick as f64)),
+                ("host", FieldValue::Str("ignored".to_string())),
+            ],
+        );
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    let trace = parse(&snap.to_chrome_trace()).expect("chrome trace parses");
+    let Some(Value::Arr(events)) = trace.get("traceEvents") else {
+        panic!("traceEvents must be an array");
+    };
+    let series: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some("exec.queue_depth"))
+        .collect();
+    assert_eq!(series.len(), 3, "one counter event per sample");
+    assert!(series
+        .iter()
+        .all(|e| e.get("ph").and_then(Value::as_str) == Some("C")));
+    let values: Vec<f64> = series
+        .iter()
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("value"))
+                .and_then(Value::as_num)
+        })
+        .collect();
+    assert_eq!(values, vec![5.0, 4.0, 3.0]);
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("rss_bytes"))
+            .count(),
+        3
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| e.get("name").and_then(Value::as_str) == Some(METRICS_SAMPLE_EVENT)),
+        "samples must not also render as instant events"
+    );
+    // The JSONL journal still carries the raw sample events.
+    assert_eq!(
+        snap.to_jsonl().matches(METRICS_SAMPLE_EVENT).count(),
+        3,
+        "journal keeps the raw records"
     );
 }
 

@@ -14,6 +14,14 @@ echo "== bench --quick --check =="
 cargo run --release -p paqoc-bench --bin bench -- --quick --check \
     --out target/BENCH_pipeline_quick.json
 
+echo "== report compare: quick run vs committed baseline =="
+# Hard-gates the deterministic columns (counts, ESP, latency) of the
+# quick subset against the repo-root baseline; wall times are
+# informational only (--counts-only). Regenerate the baseline with:
+#   cargo run --release -p paqoc-bench --bin bench -- --check
+cargo run --release -p paqoc-bench --bin report -- compare \
+    target/BENCH_pipeline_quick.json BENCH_pipeline.json --counts-only
+
 echo "== store corruption-injection suite =="
 cargo test -q -p paqoc-store --test corruption
 

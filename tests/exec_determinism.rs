@@ -79,3 +79,22 @@ fn repeated_parallel_compiles_are_self_consistent() {
     let second = compile_with_threads("qaoa", 8);
     assert_identical("qaoa", &first, &second);
 }
+
+/// The flight recorder samples gauges and process resources on its own
+/// thread while batches run; with it live (and telemetry enabled, so
+/// the stall watchdog threads spawn too) the determinism contract must
+/// be untouched — observability writes to the journal, never to pulses.
+#[test]
+fn determinism_holds_with_flight_recorder_running() {
+    paqoc::telemetry::set_enabled(true);
+    let recorder = paqoc::exec::FlightRecorder::start(std::time::Duration::from_millis(1));
+    assert!(recorder.is_running());
+
+    let sequential = compile_with_threads("qaoa", 1);
+    let parallel = compile_with_threads("qaoa", 8);
+    assert_identical("qaoa", &sequential, &parallel);
+
+    // The recorder must actually have been sampling during the runs.
+    assert!(recorder.samples() > 0, "recorder never sampled");
+    drop(recorder);
+}
