@@ -7,8 +7,8 @@
 //! tables.
 //!
 //! Usage: `bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]
-//! [--pulse-db PATH] [--expect-warm] [--threads N] [--stable-dump PATH]
-//! [--min-speedup X]`
+//! [--pulse-db PATH] [--store-max-bytes N] [--expect-warm] [--threads N]
+//! [--stable-dump PATH] [--min-speedup X]`
 //!
 //! * `--quick`    — 3-benchmark subset (CI smoke; same schema).
 //! * `--check`    — after writing, parse the file back with the in-tree
@@ -20,7 +20,13 @@
 //!   compilations pool one store-backed [`SharedPulseTable`] (the log is
 //!   single-handle); a second (warm) run against the same path serves
 //!   every pulse from it. The `store_hits` column records how many
-//!   lookups the store itself answered.
+//!   lookups the store itself answered. While the suite runs, a
+//!   background maintenance thread evicts/compacts the store off the
+//!   compile path; the run's final store health lands in the top-level
+//!   `store_bytes` / `store_evictions` / `store_compactions` columns.
+//! * `--store-max-bytes N` — eviction budget for the store's compacted
+//!   size (see `StoreOptions::max_bytes`); only meaningful with
+//!   `--pulse-db`.
 //! * `--expect-warm` — assert the run was fully warm: zero pulses
 //!   generated per benchmark and at least one store hit across the
 //!   suite (exit 1 otherwise). Per-benchmark store hits are
@@ -57,7 +63,10 @@ use std::time::Instant;
 /// v3: benchmarks run concurrently via `try_compile_batch`; added
 /// top-level `threads` (pool width) and `wall_speedup` (sum of
 /// per-benchmark wall seconds / elapsed wall seconds).
-const SCHEMA_VERSION: u64 = 3;
+/// v4: added top-level store health — `store_bytes` (on-disk size),
+/// `store_evictions` and `store_compactions` (this run's counts).
+/// Zero without `--pulse-db`; `report compare` treats them as soft.
+const SCHEMA_VERSION: u64 = 4;
 
 /// The `--quick` subset: the three fastest Table-I benchmarks, spanning
 /// a Toffoli network, an adder and an oracle family.
@@ -85,7 +94,7 @@ const BENCHMARK_KEYS: [&str; 17] = [
 ];
 
 /// Keys the top-level object must carry (asserted by `--check`).
-const TOP_KEYS: [&str; 7] = [
+const TOP_KEYS: [&str; 10] = [
     "schema_version",
     "config",
     "quick",
@@ -93,6 +102,9 @@ const TOP_KEYS: [&str; 7] = [
     "benchmarks",
     "total_wall_seconds",
     "wall_speedup",
+    "store_bytes",
+    "store_evictions",
+    "store_compactions",
 ];
 
 fn write_num(out: &mut String, v: f64) {
@@ -184,13 +196,14 @@ fn main() {
     let mut config = "minf".to_string();
     let mut out_path = "BENCH_pipeline.json".to_string();
     let mut pulse_db: Option<std::path::PathBuf> = None;
+    let mut store_max_bytes: Option<u64> = None;
     let mut expect_warm = false;
     let mut threads_flag: Option<usize> = None;
     let mut stable_dump: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
     let usage = "usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH] \
-                 [--pulse-db PATH] [--expect-warm] [--threads N] [--stable-dump PATH] \
-                 [--min-speedup X]";
+                 [--pulse-db PATH] [--store-max-bytes N] [--expect-warm] [--threads N] \
+                 [--stable-dump PATH] [--min-speedup X]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -202,6 +215,13 @@ fn main() {
                 Some(p) if !p.is_empty() => pulse_db = Some(std::path::PathBuf::from(p)),
                 _ => {
                     eprintln!("--pulse-db requires a path argument");
+                    std::process::exit(2);
+                }
+            },
+            "--store-max-bytes" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) if n > 0 => store_max_bytes = Some(n),
+                _ => {
+                    eprintln!("--store-max-bytes requires a positive integer");
                     std::process::exit(2);
                 }
             },
@@ -249,13 +269,25 @@ fn main() {
     // function of the input (the determinism the --stable-dump diff
     // checks), and the pool is never oversubscribed threads × threads.
     opts.threads = Some(1);
+    let mut shared_handle: Option<Arc<SharedPulseTable>> = None;
     if let Some(path) = pulse_db {
         // One store-backed shared table pools all compilations: the
         // first compile to reach the store attaches it (attach_store is
         // first-wins, so the open race between workers is benign).
         opts.pulse_db = Some(path);
-        opts.shared_table = Some(Arc::new(SharedPulseTable::new()));
+        if let Some(n) = store_max_bytes {
+            opts.store_options.max_bytes = Some(n);
+        }
+        let shared = Arc::new(SharedPulseTable::new());
+        shared_handle = Some(Arc::clone(&shared));
+        opts.shared_table = Some(shared);
     }
+    // Background store maintenance (eviction/compaction) off the compile
+    // path for the duration of the suite; the RAII handle joins it
+    // before the health columns are read.
+    let maintenance = shared_handle
+        .as_ref()
+        .map(|shared| shared.start_maintenance(std::time::Duration::from_millis(200)));
 
     let device = Device::grid5x5();
     let benches: Vec<_> = all_benchmarks()
@@ -272,6 +304,13 @@ fn main() {
             (b.name, outcome)
         });
     let total_wall = started.elapsed().as_secs_f64();
+    if let Some(handle) = maintenance {
+        handle.stop();
+    }
+    let store_health = shared_handle
+        .as_ref()
+        .and_then(|shared| shared.store_health())
+        .unwrap_or_default();
 
     let mut rows: Vec<String> = Vec::new();
     let mut stable_rows: Vec<String> = Vec::new();
@@ -326,6 +365,11 @@ fn main() {
     write_num(&mut doc, total_wall);
     doc.push_str(",\"wall_speedup\":");
     write_num(&mut doc, wall_speedup);
+    let _ = write!(
+        doc,
+        ",\"store_bytes\":{},\"store_evictions\":{},\"store_compactions\":{}",
+        store_health.file_bytes, store_health.evictions, store_health.compactions
+    );
     doc.push_str("}\n");
     if let Err(e) = std::fs::write(&out_path, &doc) {
         eprintln!("bench: cannot write {out_path}: {e}");
@@ -336,6 +380,22 @@ fn main() {
          {wall_speedup:.2}x overlap)",
         rows.len(),
     );
+    if shared_handle.as_ref().is_some_and(|s| s.has_store()) {
+        println!(
+            "bench: store health: {} bytes on disk ({} live, {} dead), {} evictions, \
+             {} compactions{}",
+            store_health.file_bytes,
+            store_health.live_bytes,
+            store_health.dead_bytes,
+            store_health.evictions,
+            store_health.compactions,
+            if store_health.writer {
+                ""
+            } else {
+                " [read-only]"
+            }
+        );
+    }
     if let Some(path) = stable_dump {
         let mut sdoc = String::new();
         let _ = write!(

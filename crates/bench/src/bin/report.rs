@@ -22,7 +22,9 @@
 //!   1e-6 relative; any drift is a hard failure (exit 1). Wall-clock
 //!   columns are soft: reported always, fatal only when the relative
 //!   slowdown exceeds `--wall-tolerance` (default 0.5) and
-//!   `--counts-only` was not given. `scripts/verify.sh` runs the
+//!   `--counts-only` was not given. The top-level store-health columns
+//!   (`store_bytes`, `store_evictions`, `store_compactions`) are soft:
+//!   drift is printed but never fatal. `scripts/verify.sh` runs the
 //!   `--counts-only` form against the committed repo-root baseline.
 
 use paqoc_telemetry::json::{self, Value};
@@ -50,6 +52,11 @@ const HARD_COUNT_KEYS: [&str; 11] = [
 
 /// Per-benchmark float columns gated at [`FLOAT_RTOL`].
 const FLOAT_KEYS: [&str; 4] = ["esp", "latency_ns", "cost_units", "pulse_table_hit_rate"];
+
+/// Top-level store-health columns (schema v4). Soft: reported when they
+/// drift, never fatal — on-disk size and eviction/compaction counts
+/// depend on what ran against the store before the bench did.
+const SOFT_STORE_KEYS: [&str; 3] = ["store_bytes", "store_evictions", "store_compactions"];
 
 /// A span record, unified across the JSONL and Chrome-trace formats.
 struct SpanRec {
@@ -458,6 +465,18 @@ fn cmd_compare(current_path: &str, baseline_path: &str, counts_only: bool, wall_
         } else {
             eprintln!("report: FAIL {name}: {}", drifts.join("; "));
             failures += 1;
+        }
+    }
+    // Store health is informational: the store's on-disk state depends
+    // on run history, not on this change set, so drift is printed but
+    // never gates.
+    for key in SOFT_STORE_KEYS {
+        let c = current.get(key).and_then(Value::as_num);
+        let b = baseline.get(key).and_then(Value::as_num);
+        if let (Some(c), Some(b)) = (c, b) {
+            if c != b {
+                println!("report: note {key} {b} -> {c} (soft column, not gated)");
+            }
         }
     }
     let skipped = base_map.len().saturating_sub(compared);

@@ -167,6 +167,15 @@ pub enum Degradation {
         /// Why the store could not be opened.
         reason: String,
     },
+    /// The persistent pulse store opened read-only — another process
+    /// holds the single-writer lock (or read-only was requested).
+    /// Cached pulses are still served, but this run's fresh pulses will
+    /// not be persisted.
+    StoreReadOnly {
+        /// Why the handle is read-only (`"lock-held"` or
+        /// `"requested"`).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for Degradation {
@@ -198,6 +207,10 @@ impl std::fmt::Display for Degradation {
             Degradation::StoreUnavailable { reason } => write!(
                 f,
                 "persistent pulse store unavailable ({reason}); running in-memory only"
+            ),
+            Degradation::StoreReadOnly { reason } => write!(
+                f,
+                "persistent pulse store is read-only ({reason}); fresh pulses will not persist"
             ),
         }
     }

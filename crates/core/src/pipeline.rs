@@ -67,6 +67,16 @@ pub struct PipelineOptions {
     /// to open degrades to in-memory compilation with a
     /// [`Degradation::StoreUnavailable`] entry — never an error.
     pub pulse_db: Option<std::path::PathBuf>,
+    /// Tuning for the persistent store handle ([`PulseStore::open_with`]):
+    /// eviction budget, forced read-only mode, IO fault injection. A
+    /// `max_bytes` of `None` consults the `PAQOC_PULSE_DB_MAX_BYTES`
+    /// environment variable. When the handle comes up read-only —
+    /// another process holds the single-writer lock, or read-only was
+    /// requested — the compilation proceeds and records a
+    /// [`Degradation::StoreReadOnly`] entry.
+    ///
+    /// [`PulseStore::open_with`]: paqoc_store::PulseStore::open_with
+    pub store_options: paqoc_store::StoreOptions,
     /// Worker count for [`try_compile_batch`]. `None` consults the
     /// `PAQOC_THREADS` environment variable, then hardware parallelism
     /// (see [`effective_threads`]). Ignored by the sequential
@@ -95,6 +105,7 @@ impl Default for PipelineOptions {
             pulse_retries: 2,
             allow_estimator_fallback: true,
             pulse_db: None,
+            store_options: paqoc_store::StoreOptions::default(),
             threads: None,
             shared_table: None,
         }
@@ -429,11 +440,31 @@ fn compile_inner(
             .map(|(_, shared)| shared.has_store())
             .unwrap_or(false);
         if !store_owner_has_one {
-            match paqoc_store::PulseStore::open(&path, device.fingerprint()) {
-                Ok(store) => match &batch {
-                    Some((_, shared)) => shared.attach_store(store),
-                    None => table.attach_store(store),
-                },
+            let mut store_opts = opts.store_options.clone();
+            if store_opts.max_bytes.is_none() {
+                store_opts.max_bytes = std::env::var("PAQOC_PULSE_DB_MAX_BYTES")
+                    .ok()
+                    .and_then(|v| v.parse().ok());
+            }
+            match paqoc_store::PulseStore::open_with(&path, device.fingerprint(), store_opts) {
+                Ok(store) => {
+                    if store.role() == paqoc_store::StoreRole::ReadOnly {
+                        // Reads still come through; only durability of
+                        // this run's fresh pulses is lost.
+                        let reason = if opts.store_options.read_only {
+                            "requested"
+                        } else {
+                            "lock-held"
+                        };
+                        degradations.push(Degradation::StoreReadOnly {
+                            reason: reason.to_string(),
+                        });
+                    }
+                    match &batch {
+                        Some((_, shared)) => shared.attach_store(store),
+                        None => table.attach_store(store),
+                    }
+                }
                 Err(e) => {
                     // Persistence is an accelerator, not a requirement:
                     // compile in-memory and record the concession.
@@ -746,5 +777,80 @@ mod tests {
         let mut source = AnalyticModel::new();
         let r = compile(&qaoa_like(), &device, &mut source, &PipelineOptions::m0());
         assert!(r.wall_seconds > 0.0);
+    }
+
+    fn store_tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("paqoc-pipeline-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(paqoc_store::lock_path(&path));
+        path
+    }
+
+    #[test]
+    fn requested_read_only_store_degrades_but_still_serves_reads() {
+        let device = Device::grid5x5();
+        let path = store_tmp("readonly.pqps");
+        // Warm pass: a writer persists this compile's pulses.
+        let mut source = AnalyticModel::new();
+        let opts = PipelineOptions {
+            pulse_db: Some(path.clone()),
+            ..PipelineOptions::m0()
+        };
+        let warm = compile(&qaoa_like(), &device, &mut source, &opts);
+        assert!(
+            !warm
+                .degradations
+                .iter()
+                .any(|d| matches!(d, Degradation::StoreReadOnly { .. })),
+            "first opener must win the writer lock"
+        );
+        // Read-only pass: still compiles, still hits the store, but the
+        // concession is recorded.
+        let ro = PipelineOptions {
+            pulse_db: Some(path.clone()),
+            store_options: paqoc_store::StoreOptions {
+                read_only: true,
+                ..paqoc_store::StoreOptions::default()
+            },
+            ..PipelineOptions::m0()
+        };
+        let mut source = AnalyticModel::new();
+        let r = compile(&qaoa_like(), &device, &mut source, &ro);
+        assert!(
+            r.degradations.iter().any(
+                |d| matches!(d, Degradation::StoreReadOnly { reason } if reason == "requested")
+            ),
+            "degradations: {:?}",
+            r.degradations
+        );
+        assert!(
+            r.stats.store_hits > 0,
+            "a read-only handle must still serve the warm pass's pulses"
+        );
+    }
+
+    #[test]
+    fn held_writer_lock_degrades_compile_to_read_only() {
+        let device = Device::grid5x5();
+        let path = store_tmp("lock-held.pqps");
+        // Another "process" (handle in this one — the flock is
+        // per-open-file-description) holds the writer lock.
+        let _writer =
+            paqoc_store::PulseStore::open(&path, device.fingerprint()).expect("writer handle");
+        let opts = PipelineOptions {
+            pulse_db: Some(path.clone()),
+            ..PipelineOptions::m0()
+        };
+        let mut source = AnalyticModel::new();
+        let r = compile(&qaoa_like(), &device, &mut source, &opts);
+        assert!(
+            r.degradations.iter().any(
+                |d| matches!(d, Degradation::StoreReadOnly { reason } if reason == "lock-held")
+            ),
+            "degradations: {:?}",
+            r.degradations
+        );
     }
 }

@@ -270,9 +270,10 @@ impl PulseTable {
             }
         }
         // Read-through: a miss in this process may be a hit in the
-        // persistent store from an earlier run.
-        if let Some(store) = &self.store {
-            if let Some(hit) = store.get(&key) {
+        // persistent store from an earlier run. `hit` (not `get`) bumps
+        // the record's LFU metadata so eviction keeps reused keys.
+        if let Some(store) = &mut self.store {
+            if let Some(hit) = store.hit(&key) {
                 self.stats.cache_hits += 1;
                 self.stats.store_hits += 1;
                 self.entries.insert(key, hit);
@@ -437,10 +438,12 @@ impl PulseTable {
     pub fn sync_store(&mut self) -> Result<(), paqoc_store::StoreError> {
         match &mut self.store {
             Some(store) => {
-                if store.should_compact() {
-                    store.compact()?;
-                }
-                store.sync()
+                store.sync()?;
+                // Post-sync maintenance: byte-budget eviction and
+                // dead-byte compaction for a writer, refresh for a
+                // reader.
+                store.maintain()?;
+                Ok(())
             }
             None => Ok(()),
         }

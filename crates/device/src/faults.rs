@@ -53,6 +53,16 @@ pub struct FaultConfig {
     /// executor tests get a *predictable* slow worker to race against
     /// deadlines and fast peers.
     pub stall: Duration,
+    /// Probability that a pulse-store `sync` (fsync) fails — consumed by
+    /// [`crate::IoFaultInjector`], not by [`FaultySource`].
+    pub io_sync_fail_rate: f64,
+    /// Probability that a pulse-store compaction `rename` fails —
+    /// consumed by [`crate::IoFaultInjector`].
+    pub io_rename_fail_rate: f64,
+    /// Probability that a pulse-store record append is torn (only a
+    /// prefix of the record reaches disk) — consumed by
+    /// [`crate::IoFaultInjector`].
+    pub io_short_write_rate: f64,
 }
 
 /// Hard ceiling on [`FaultConfig::stall`]: a misconfigured fault
@@ -71,6 +81,9 @@ impl Default for FaultConfig {
             slow_call: Duration::from_millis(5),
             panic_rate: 0.0,
             stall: Duration::ZERO,
+            io_sync_fail_rate: 0.0,
+            io_rename_fail_rate: 0.0,
+            io_short_write_rate: 0.0,
         }
     }
 }
@@ -99,6 +112,19 @@ impl FaultConfig {
         FaultConfig {
             seed,
             panic_rate: rate,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// An IO fault storm for the pulse-store path: failed syncs, failed
+    /// renames and torn appends all at the given rate. Feed to
+    /// [`crate::IoFaultInjector::from_config`].
+    pub fn io_storm(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            io_sync_fail_rate: rate,
+            io_rename_fail_rate: rate,
+            io_short_write_rate: rate,
             ..FaultConfig::default()
         }
     }

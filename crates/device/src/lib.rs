@@ -26,12 +26,14 @@
 pub mod corruption;
 mod faults;
 mod hamiltonian;
+mod io_faults;
 mod latency;
 mod spec;
 mod topology;
 
 pub use faults::{FaultConfig, FaultCounts, FaultySource, STALL_CAP};
 pub use hamiltonian::{transmon_xy_controls, ControlChannel, ControlSet, Device};
+pub use io_faults::{IoFaultCounts, IoFaultInjector};
 pub use latency::{validate_estimate, AnalyticModel, PulseEstimate, PulseGenError, PulseSource};
 pub use spec::HardwareSpec;
 pub use topology::Topology;

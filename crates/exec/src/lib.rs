@@ -45,7 +45,7 @@ pub use executor::{
 };
 pub use factory::{job_seed, AnalyticFactory, FaultyAnalyticFactory, PulseSourceFactory};
 pub use recorder::{interval_from_env, FlightRecorder, METRICS_ENV};
-pub use shared_table::{Claim, Provenance, SharedPulseTable, DEFAULT_SHARDS};
+pub use shared_table::{Claim, Provenance, SharedPulseTable, StoreHealth, DEFAULT_SHARDS};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

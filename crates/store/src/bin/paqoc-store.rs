@@ -1,0 +1,335 @@
+//! `paqoc-store` — operational CLI for the persistent pulse store.
+//!
+//! ```text
+//! paqoc-store inspect <store>                 summarize header, records, live/dead bytes
+//! paqoc-store verify  <store>                 like inspect; exit 2 unless fully clean
+//! paqoc-store compact <store>                 rewrite live records (requires the writer lock)
+//! paqoc-store merge   <dst> <src>             copy records missing from <dst> out of <src>
+//! paqoc-store hammer  <store> <fp> <count> [--reader] [--forever]
+//!                     [--sync-every N] [--max-bytes N] [--seed N]
+//!                                             load generator for the cross-process tests;
+//!                                             emits one JSON object per line on stdout
+//! ```
+//!
+//! `inspect`/`verify` never take the writer lock and are safe against a
+//! live writer. `compact` and `merge` need the lock and fail cleanly
+//! when another process holds it.
+
+use paqoc_store::{inspect, PulseStore, StoreInspection, StoreOptions, StoreRole};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("inspect") => match it.next() {
+            Some(path) => cmd_inspect(Path::new(path), false),
+            None => usage(),
+        },
+        Some("verify") => match it.next() {
+            Some(path) => cmd_inspect(Path::new(path), true),
+            None => usage(),
+        },
+        Some("compact") => match it.next() {
+            Some(path) => cmd_compact(Path::new(path)),
+            None => usage(),
+        },
+        Some("merge") => match (it.next(), it.next()) {
+            (Some(dst), Some(src)) => cmd_merge(Path::new(dst), Path::new(src)),
+            _ => usage(),
+        },
+        Some("hammer") => cmd_hammer(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: paqoc-store inspect|verify <store>\n\
+         \x20      paqoc-store compact <store>\n\
+         \x20      paqoc-store merge <dst> <src>\n\
+         \x20      paqoc-store hammer <store> <fingerprint> <count> \
+         [--reader] [--forever] [--sync-every N] [--max-bytes N] [--seed N]"
+    );
+    ExitCode::from(1)
+}
+
+fn print_inspection(path: &Path, ins: &StoreInspection) {
+    println!("store            {}", path.display());
+    println!("header_ok        {}", ins.header_ok);
+    println!("version          {}", ins.version);
+    println!("fingerprint      {:016x}", ins.fingerprint);
+    println!("file_bytes       {}", ins.file_bytes);
+    println!("records_scanned  {}", ins.records_scanned);
+    println!("live_records     {}", ins.live_records);
+    println!("live_bytes       {}", ins.live_bytes);
+    println!("dead_bytes       {}", ins.dead_bytes);
+    println!("quarantined      {}", ins.quarantined);
+    println!("torn_tail_bytes  {}", ins.torn_tail_bytes);
+    println!("total_hits       {}", ins.total_hits);
+}
+
+fn cmd_inspect(path: &Path, verify: bool) -> ExitCode {
+    let ins = match inspect(path) {
+        Ok(ins) => ins,
+        Err(e) => {
+            eprintln!("paqoc-store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print_inspection(path, &ins);
+    if verify {
+        if ins.clean() {
+            println!("verdict          clean");
+        } else {
+            println!("verdict          DAMAGED");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Opens `path` as a writer using the fingerprint in its own header;
+/// errors when the file is missing/unreadable or the lock is held.
+fn open_own_writer(path: &Path) -> Result<PulseStore, String> {
+    let ins = inspect(path).map_err(|e| e.to_string())?;
+    if !ins.header_ok {
+        return Err(format!("{}: not a readable pulse store", path.display()));
+    }
+    let store = PulseStore::open_with(path, ins.fingerprint, StoreOptions::default())
+        .map_err(|e| e.to_string())?;
+    if store.role() != StoreRole::Writer {
+        return Err(format!(
+            "{}: another process holds the writer lock",
+            path.display()
+        ));
+    }
+    Ok(store)
+}
+
+fn cmd_compact(path: &Path) -> ExitCode {
+    let mut store = match open_own_writer(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("paqoc-store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let before = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    if let Err(e) = store.compact_with_reason("cli") {
+        eprintln!("paqoc-store: {e}");
+        return ExitCode::from(2);
+    }
+    let after = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    println!("records          {}", store.len());
+    println!("bytes_before     {before}");
+    println!("bytes_after      {after}");
+    ExitCode::SUCCESS
+}
+
+fn cmd_merge(dst: &Path, src: &Path) -> ExitCode {
+    let src_ins = match inspect(src) {
+        Ok(ins) if ins.header_ok => ins,
+        Ok(_) => {
+            eprintln!("paqoc-store: {}: not a readable pulse store", src.display());
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("paqoc-store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Guard before opening: opening dst with src's fingerprint would
+    // rotate a mismatched destination away instead of erroring.
+    if let Ok(dst_ins) = inspect(dst) {
+        if dst_ins.header_ok && dst_ins.fingerprint != src_ins.fingerprint {
+            eprintln!(
+                "paqoc-store: fingerprint mismatch: {} is {:016x}, {} is {:016x}",
+                dst.display(),
+                dst_ins.fingerprint,
+                src.display(),
+                src_ins.fingerprint
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let mut store = match PulseStore::open_with(dst, src_ins.fingerprint, StoreOptions::default()) {
+        Ok(s) if s.role() == StoreRole::Writer => s,
+        Ok(_) => {
+            eprintln!(
+                "paqoc-store: {}: another process holds the writer lock",
+                dst.display()
+            );
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("paqoc-store: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match store.merge_from_file(src) {
+        Ok(report) => {
+            println!("added            {}", report.added);
+            println!("skipped          {}", report.skipped);
+            println!("records          {}", store.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("paqoc-store: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+struct HammerArgs {
+    path: PathBuf,
+    fingerprint: u64,
+    count: usize,
+    reader: bool,
+    forever: bool,
+    sync_every: usize,
+    max_bytes: Option<u64>,
+    seed: u64,
+}
+
+fn parse_hammer(args: &[String]) -> Option<HammerArgs> {
+    let mut it = args.iter().map(String::as_str);
+    let path = PathBuf::from(it.next()?);
+    let fingerprint: u64 = it.next()?.parse().ok()?;
+    let count: usize = it.next()?.parse().ok()?;
+    let mut out = HammerArgs {
+        path,
+        fingerprint,
+        count,
+        reader: false,
+        forever: false,
+        sync_every: 8,
+        max_bytes: None,
+        seed: 0,
+    };
+    while let Some(flag) = it.next() {
+        match flag {
+            "--reader" => out.reader = true,
+            "--forever" => out.forever = true,
+            "--sync-every" => out.sync_every = it.next()?.parse().ok()?,
+            "--max-bytes" => out.max_bytes = Some(it.next()?.parse().ok()?),
+            "--seed" => out.seed = it.next()?.parse().ok()?,
+            _ => return None,
+        }
+    }
+    if out.sync_every == 0 {
+        out.sync_every = 1;
+    }
+    Some(out)
+}
+
+fn emit(line: &str) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{line}");
+    let _ = out.flush();
+}
+
+fn hammer_estimate(i: usize) -> paqoc_device::PulseEstimate {
+    paqoc_device::PulseEstimate {
+        latency_ns: 10.0 + i as f64 * 0.5,
+        latency_dt: 80 + i as u64 * 4,
+        fidelity: 0.999,
+        cost_units: 1.0,
+    }
+}
+
+/// Load generator for the cross-process contention tests. Emits one
+/// JSON object per line, flushed, so a parent process can sequence its
+/// own actions against ours.
+fn cmd_hammer(args: &[String]) -> ExitCode {
+    let Some(cfg) = parse_hammer(args) else {
+        return usage();
+    };
+    let options = StoreOptions {
+        max_bytes: cfg.max_bytes,
+        read_only: cfg.reader,
+        io_faults: None,
+    };
+    let mut store = match PulseStore::open_with(&cfg.path, cfg.fingerprint, options) {
+        Ok(s) => s,
+        Err(e) => {
+            emit(&format!(r#"{{"event":"error","message":"{e}"}}"#));
+            return ExitCode::from(2);
+        }
+    };
+    let role = match store.role() {
+        StoreRole::Writer => "writer",
+        StoreRole::ReadOnly => "readonly",
+    };
+    emit(&format!(
+        r#"{{"event":"open","role":"{role}","records":{}}}"#,
+        store.len()
+    ));
+
+    match store.role() {
+        StoreRole::Writer => {
+            let pid = std::process::id();
+            let mut written = 0usize;
+            let mut i = 0usize;
+            loop {
+                if !cfg.forever && written >= cfg.count {
+                    break;
+                }
+                let key = format!("hammer-{}-{:06}", cfg.seed, i);
+                if let Err(e) = store.put(&key, hammer_estimate(i)) {
+                    emit(&format!(r#"{{"event":"error","message":"{e}"}}"#));
+                    return ExitCode::from(2);
+                }
+                written += 1;
+                i += 1;
+                if written.is_multiple_of(cfg.sync_every) {
+                    if let Err(e) = store.sync() {
+                        emit(&format!(r#"{{"event":"error","message":"{e}"}}"#));
+                        return ExitCode::from(2);
+                    }
+                    emit(&format!(
+                        r#"{{"event":"synced","written":{written},"pid":{pid}}}"#
+                    ));
+                }
+            }
+            if let Err(e) = store.sync() {
+                emit(&format!(r#"{{"event":"error","message":"{e}"}}"#));
+                return ExitCode::from(2);
+            }
+            emit(&format!(
+                r#"{{"event":"done","role":"writer","written":{written},"records":{}}}"#,
+                store.len()
+            ));
+        }
+        StoreRole::ReadOnly => {
+            // Serve reads while the writer appends: refresh until we have
+            // observed `count` records (or give up after ~10 s). Also
+            // prove the degradation path: a write on this handle is
+            // dropped and counted, never an error.
+            let _ = store.put("readonly-probe", hammer_estimate(0));
+            let mut observed = store.len();
+            emit(&format!(r#"{{"event":"observed","records":{observed}}}"#));
+            for _ in 0..5000 {
+                if observed >= cfg.count {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                if let Err(e) = store.refresh() {
+                    emit(&format!(r#"{{"event":"error","message":"{e}"}}"#));
+                    return ExitCode::from(2);
+                }
+                if store.len() != observed {
+                    observed = store.len();
+                    emit(&format!(r#"{{"event":"observed","records":{observed}}}"#));
+                }
+            }
+            emit(&format!(
+                r#"{{"event":"done","role":"readonly","observed":{observed},"readonly_drops":{}}}"#,
+                store.readonly_drops()
+            ));
+        }
+    }
+    ExitCode::SUCCESS
+}

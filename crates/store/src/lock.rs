@@ -1,0 +1,89 @@
+//! Advisory file locking for writer election (single-writer/multi-reader).
+//!
+//! The lock lives on a sibling `<store>.lock` file that is **never
+//! renamed**: compaction atomically replaces the data file, and a lock
+//! held on the data file itself would silently keep guarding the old,
+//! unlinked inode after the first compaction. `flock(2)` locks are
+//! advisory, attached to the open file description, and released by the
+//! kernel when the holder's last descriptor closes — including on
+//! `kill -9` — so a dead writer can never wedge the store.
+//!
+//! Only the writer takes a lock (exclusive, non-blocking). Readers hold
+//! nothing: the append-only format plus the atomic compaction rename
+//! keep a reader's view valid without coordination, and a lock-free
+//! reader can never block writer failover after a crash.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+
+#[cfg(unix)]
+mod sys {
+    #![allow(unsafe_code)]
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // Same values on every unix we target (Linux, macOS, BSDs).
+    const LOCK_EX: i32 = 2;
+    const LOCK_NB: i32 = 4;
+
+    extern "C" {
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    /// Attempts a non-blocking exclusive lock; `Ok(false)` when another
+    /// open file description (any process, or another handle in this
+    /// one) already holds it.
+    pub(crate) fn try_exclusive(file: &std::fs::File) -> io::Result<bool> {
+        // SAFETY: `flock` is a plain syscall over a valid, owned fd and
+        // an integer flag word; it neither retains the fd nor touches
+        // any Rust-managed memory.
+        let rc = unsafe { flock(file.as_raw_fd(), LOCK_EX | LOCK_NB) };
+        if rc == 0 {
+            return Ok(true);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::WouldBlock {
+            Ok(false)
+        } else {
+            Err(err)
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use std::io;
+
+    /// Non-unix fallback: no advisory locking — every opener becomes the
+    /// writer, restoring the single-process v1 semantics.
+    pub(crate) fn try_exclusive(_file: &std::fs::File) -> io::Result<bool> {
+        Ok(true)
+    }
+}
+
+/// Path of the lock sibling for a store at `path` (`<path>.lock`,
+/// appended to the full file name so `a.pqps` and `a.db` never share a
+/// lock).
+pub fn lock_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".lock");
+    PathBuf::from(os)
+}
+
+/// Tries to become the writer for the store at `path`. Returns the held
+/// lock file on success — keep it alive for the writer's lifetime — or
+/// `None` when another open file description already holds it.
+pub(crate) fn acquire_writer(path: &Path) -> io::Result<Option<File>> {
+    let lock = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(lock_path(path))?;
+    if sys::try_exclusive(&lock)? {
+        Ok(Some(lock))
+    } else {
+        Ok(None)
+    }
+}

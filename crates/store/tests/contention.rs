@@ -1,0 +1,210 @@
+//! Cross-process contention: real child processes (the `paqoc-store`
+//! CLI's `hammer` subcommand) sharing one store file. Proves the
+//! acceptance criteria of the multi-process protocol:
+//!
+//! * exactly one process becomes the writer; the second serves reads,
+//!   observes the writer's appends via refresh, and journals/drops its
+//!   own writes;
+//! * `kill -9` of the writer mid-append loses at most the torn tail:
+//!   every record synced before the kill survives, nothing is
+//!   quarantined, and the next open scrubs to a clean file.
+#![cfg(unix)]
+
+use paqoc_store::{PulseStore, StoreRole};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+
+const FP: u64 = 0xC0FFEE;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paqoc-store-xproc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(paqoc_store::lock_path(&path));
+    path
+}
+
+fn hammer(args: &[&str]) -> (Child, BufReader<ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_paqoc-store"))
+        .arg("hammer")
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn paqoc-store hammer");
+    let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+    (child, stdout)
+}
+
+fn read_line(reader: &mut BufReader<ChildStdout>) -> Option<String> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(line.trim().to_string()),
+        Err(_) => None,
+    }
+}
+
+/// Extracts `"key":<number>` from one of the hammer's JSON lines.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\":");
+    let rest = &line[line.find(&tag)? + tag.len()..];
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":\"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+#[test]
+fn two_processes_one_writer_reader_observes_appends() {
+    let path = tmp("contend.pqps");
+    let path_s = path.display().to_string();
+    let fp_s = FP.to_string();
+
+    // Writer child: appends forever so the overlap window is guaranteed.
+    let (mut writer, mut writer_out) = hammer(&[
+        &path_s,
+        &fp_s,
+        "0",
+        "--forever",
+        "--sync-every",
+        "4",
+        "--seed",
+        "1",
+    ]);
+    let open_line = read_line(&mut writer_out).expect("writer open line");
+    assert_eq!(json_str(&open_line, "role"), Some("writer"));
+
+    // Wait for the first durable sync before spawning the contender.
+    let first_sync = loop {
+        let line = read_line(&mut writer_out).expect("writer output");
+        if line.contains("\"event\":\"synced\"") {
+            break json_u64(&line, "written").expect("written count");
+        }
+    };
+    assert!(first_sync >= 4);
+
+    // Second process: must degrade to read-only and still observe 40
+    // records appearing while the writer keeps appending.
+    let (mut reader, mut reader_out) = hammer(&[&path_s, &fp_s, "40"]);
+    let open_line = read_line(&mut reader_out).expect("reader open line");
+    assert_eq!(
+        json_str(&open_line, "role"),
+        Some("readonly"),
+        "exactly one process may hold the writer role"
+    );
+    let mut done_line = None;
+    while let Some(line) = read_line(&mut reader_out) {
+        if line.contains("\"event\":\"done\"") {
+            done_line = Some(line);
+            break;
+        }
+    }
+    let done = done_line.expect("reader done line");
+    let observed = json_u64(&done, "observed").expect("observed");
+    assert!(
+        observed >= 40,
+        "reader observed only {observed} of the concurrent appends"
+    );
+    assert_eq!(
+        json_u64(&done, "readonly_drops"),
+        Some(1),
+        "the reader's own write must be dropped and counted"
+    );
+    let status = reader.wait().expect("reader exit");
+    assert!(status.success());
+
+    // Track the writer's last durable count, then SIGKILL it.
+    let mut last_synced = first_sync;
+    while let Some(line) = read_line(&mut writer_out) {
+        if let Some(n) = json_u64(&line, "written") {
+            last_synced = n;
+        }
+        if last_synced >= 80 {
+            break;
+        }
+    }
+    writer.kill().expect("SIGKILL writer");
+    let _ = writer.wait();
+
+    // The lock died with the writer: we become the writer immediately,
+    // and every synced record survived.
+    let store = PulseStore::open(&path, FP).expect("reopen after kill");
+    assert_eq!(store.role(), StoreRole::Writer);
+    assert!(
+        store.len() as u64 >= last_synced,
+        "lost records: {} on disk, {} were synced",
+        store.len(),
+        last_synced
+    );
+    assert_eq!(
+        store.recovery().quarantined,
+        0,
+        "a torn tail must truncate, not quarantine"
+    );
+    for (key, est) in store.iter() {
+        assert!(key.starts_with("hammer-1-"), "foreign key {key:?}");
+        assert!(est.is_well_formed());
+    }
+}
+
+#[test]
+fn sigkill_mid_append_loses_at_most_the_torn_tail() {
+    let path = tmp("kill.pqps");
+    let path_s = path.display().to_string();
+    let fp_s = FP.to_string();
+
+    let (mut writer, mut writer_out) = hammer(&[
+        &path_s,
+        &fp_s,
+        "0",
+        "--forever",
+        "--sync-every",
+        "2",
+        "--seed",
+        "9",
+    ]);
+    let open_line = read_line(&mut writer_out).expect("open line");
+    assert_eq!(json_str(&open_line, "role"), Some("writer"));
+
+    // Let a few syncs land, then kill without warning: the process dies
+    // inside its tight append loop.
+    let mut last_synced = 0;
+    while last_synced < 10 {
+        let line = read_line(&mut writer_out).expect("writer output");
+        if let Some(n) = json_u64(&line, "written") {
+            last_synced = n;
+        }
+    }
+    writer.kill().expect("SIGKILL");
+    let _ = writer.wait();
+
+    let store = PulseStore::open(&path, FP).expect("reopen");
+    assert_eq!(
+        store.role(),
+        StoreRole::Writer,
+        "flock dies with its process"
+    );
+    assert!(
+        store.len() as u64 >= last_synced,
+        "synced records lost: {} on disk vs {last_synced} synced",
+        store.len()
+    );
+    assert_eq!(store.recovery().quarantined, 0);
+    // recovery().recovered() is true exactly when the kill tore a tail;
+    // either way the open scrubbed it: a second open must be clean.
+    drop(store);
+    let store = PulseStore::open(&path, FP).expect("second reopen");
+    assert!(
+        !store.recovery().recovered(),
+        "recovery must not survive a second open"
+    );
+    assert!(store.len() as u64 >= last_synced);
+}

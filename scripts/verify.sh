@@ -28,13 +28,19 @@ cargo test -q -p paqoc-store --test corruption
 echo "== persistent store end-to-end (cold -> warm) =="
 cargo test -q --test pulse_store
 
+echo "== cross-process store contention (one writer, SIGKILL recovery) =="
+cargo test -q -p paqoc-store --test contention
+
 echo "== bench cold -> warm against a fresh pulse store =="
 PULSE_DB="target/verify_pulse_store.db"
-rm -f "$PULSE_DB"
+rm -f "$PULSE_DB" "$PULSE_DB.lock"
 cargo run --release -p paqoc-bench --bin bench -- --quick \
     --out target/BENCH_pipeline_cold.json --pulse-db "$PULSE_DB"
 cargo run --release -p paqoc-bench --bin bench -- --quick --check \
     --out target/BENCH_pipeline_warm.json --pulse-db "$PULSE_DB" --expect-warm
+
+echo "== paqoc-store verify on the cold->warm store =="
+cargo run --release -p paqoc-store --bin paqoc-store -- verify "$PULSE_DB"
 
 echo "== executor determinism: 1-thread vs 4-thread stable dumps must be byte-identical =="
 # No --pulse-db here: a pooled store lets concurrent compiles trade
