@@ -66,14 +66,18 @@ use std::time::Instant;
 /// v4: added top-level store health — `store_bytes` (on-disk size),
 /// `store_evictions` and `store_compactions` (this run's counts).
 /// Zero without `--pulse-db`; `report compare` treats them as soft.
-const SCHEMA_VERSION: u64 = 4;
+/// v5: added per-benchmark `kernel_ns` — a map of numeric-kernel name
+/// to nanoseconds spent there during the compile (kernel-probe
+/// attribution). Empty when probes are compiled out or disarmed;
+/// omitted from `--stable-dump`; `report compare` treats it as soft.
+const SCHEMA_VERSION: u64 = 5;
 
 /// The `--quick` subset: the three fastest Table-I benchmarks, spanning
 /// a Toffoli network, an adder and an oracle family.
 const QUICK_SUBSET: [&str; 3] = ["mod5d2_64", "rd32_270", "bv"];
 
 /// Keys every per-benchmark object must carry (asserted by `--check`).
-const BENCHMARK_KEYS: [&str; 17] = [
+const BENCHMARK_KEYS: [&str; 18] = [
     "name",
     "wall_seconds",
     "latency_ns",
@@ -91,6 +95,7 @@ const BENCHMARK_KEYS: [&str; 17] = [
     "criticality_merges",
     "rejected_merges",
     "degradations",
+    "kernel_ns",
 ];
 
 /// Keys the top-level object must carry (asserted by `--check`).
@@ -116,7 +121,8 @@ fn write_num(out: &mut String, v: f64) {
 }
 
 /// One benchmark row. `stable_only` drops the schedule-dependent
-/// columns (`wall_seconds`, `store_hits`) for `--stable-dump`.
+/// columns (`wall_seconds`, `store_hits`, `kernel_ns`) for
+/// `--stable-dump`.
 fn benchmark_object(name: &str, r: &CompilationResult, stable_only: bool) -> String {
     let lookups = r.stats.cache_hits + r.stats.pulses_generated;
     let hit_rate = if lookups == 0 {
@@ -155,7 +161,7 @@ fn benchmark_object(name: &str, r: &CompilationResult, stable_only: bool) -> Str
     let _ = write!(
         o,
         ",\"search_iterations\":{},\"preprocess_merges\":{},\"criticality_merges\":{},\
-         \"rejected_merges\":{},\"degradations\":{},\"partial\":{}}}",
+         \"rejected_merges\":{},\"degradations\":{},\"partial\":{}",
         r.report.iterations,
         r.report.preprocess_merges,
         r.report.criticality_merges,
@@ -163,6 +169,19 @@ fn benchmark_object(name: &str, r: &CompilationResult, stable_only: bool) -> Str
         r.degradations.len(),
         r.partial
     );
+    if !stable_only {
+        // Kernel-probe attribution: soft wall-time data, kept out of
+        // the byte-compared stable dump. `{}` when probes are off.
+        o.push_str(",\"kernel_ns\":{");
+        for (i, (kernel, ns)) in r.kernel_ns.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(o, "{}:{ns}", json::escape(kernel));
+        }
+        o.push('}');
+    }
+    o.push('}');
     o
 }
 

@@ -3,12 +3,16 @@
 //! candidates pruned, APA rejections, GRAPE iterations, …) and the
 //! pulse-table cache hit rate.
 //!
-//! Usage: `profile [benchmark] [config] [--batch]` where `benchmark` is
-//! a Table-I name (default `qaoa`) and `config` is `m0`, `tuned` or
-//! `minf` (default `minf`). `--batch` compiles through
+//! Usage: `profile [benchmark] [config] [--batch] [--grape]` where
+//! `benchmark` is a Table-I name (default `qaoa`) and `config` is `m0`,
+//! `tuned` or `minf` (default `minf`). `--batch` compiles through
 //! [`try_compile_batch`] — the work-stealing executor path — so the
 //! trace additionally carries `exec.job` / `exec.worker` / `exec.batch`
-//! journal events for `report jobs` and `report workers`. With
+//! journal events for `report jobs` and `report workers`. `--grape`
+//! swaps the free analytic pulse source for the real GRAPE optimizer
+//! (its fast test profile), which drives the `mathkit.*` /
+//! `grape.*` kernel probes hard — the configuration `report hotspots`
+//! and `report flame` are made for. With
 //! `PAQOC_TRACE=<path>.json` the trace is dumped
 //! in Chrome trace-event format (open in Perfetto / `chrome://tracing`);
 //! any other `PAQOC_TRACE=<path>` dumps raw JSON Lines. With
@@ -21,15 +25,19 @@
 use paqoc_core::{compile, try_compile_batch, PipelineOptions};
 use paqoc_device::{AnalyticModel, Device};
 use paqoc_exec::{AnalyticFactory, PulseSourceFactory};
+use paqoc_grape::{GrapeFactory, GrapeSource};
 use paqoc_workloads::{all_benchmarks, benchmark};
 use std::sync::Arc;
 
 fn main() {
     let mut batch = false;
+    let mut grape = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if arg == "--batch" {
             batch = true;
+        } else if arg == "--grape" {
+            grape = true;
         } else {
             positional.push(arg);
         }
@@ -68,7 +76,11 @@ fn main() {
     let circuit = (b.build)();
     let device = Device::grid5x5();
     let result = if batch {
-        let factory: Arc<dyn PulseSourceFactory> = Arc::new(AnalyticFactory);
+        let factory: Arc<dyn PulseSourceFactory> = if grape {
+            Arc::new(GrapeFactory::fast())
+        } else {
+            Arc::new(AnalyticFactory)
+        };
         match try_compile_batch(&circuit, &device, factory, &opts) {
             Ok(r) => r,
             Err(e) => {
@@ -76,6 +88,9 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    } else if grape {
+        let mut source = GrapeSource::fast();
+        compile(&circuit, &device, &mut source, &opts)
     } else {
         let mut source = AnalyticModel::new();
         compile(&circuit, &device, &mut source, &opts)

@@ -24,11 +24,33 @@
 //!   slowdown exceeds `--wall-tolerance` (default 0.5) and
 //!   `--counts-only` was not given. The top-level store-health columns
 //!   (`store_bytes`, `store_evictions`, `store_compactions`) are soft:
-//!   drift is printed but never fatal. `scripts/verify.sh` runs the
-//!   `--counts-only` form against the committed repo-root baseline.
+//!   drift is printed but never fatal. The per-benchmark `kernel_ns`
+//!   map (schema v5) is soft too: totals are reported, never gated.
+//!   `scripts/verify.sh` runs the `--counts-only` form against the
+//!   committed repo-root baseline.
+//! * `report hotspots TRACE [--top N] [--baseline TRACE]` — ranks the
+//!   numeric kernels (`mathkit.expm`, `grape.gradient`, …) by
+//!   self-time from the trace's kernel-probe records, with per-matrix-
+//!   dimension breakdowns (calls, p50/p90/p99) and an optional
+//!   CURRENT-vs-BASELINE self-time diff.
+//! * `report flame TRACE` — folds the span tree and kernel call sites
+//!   into collapsed-stack lines (`frame;frame value`, value =
+//!   self-microseconds) for inferno / speedscope / flamegraph.pl.
+//!   Kernel sites ride only in JSONL traces; Chrome exports fold spans
+//!   alone.
+//!
+//! Schema gating: traces and bench files written by a *newer* revision
+//! (JSONL `trace_meta.trace_schema`, Chrome `paqocTraceSchema`, bench
+//! `schema_version`) are rejected with a clear message and a non-zero
+//! exit instead of being silently misread.
 
 use paqoc_telemetry::json::{self, Value};
+use paqoc_telemetry::{KernelSite, Snapshot, SpanRecord, TRACE_SCHEMA};
 use std::collections::BTreeMap;
+
+/// Newest `BENCH_pipeline.json` schema this tool understands (matches
+/// `SCHEMA_VERSION` in the bench binary).
+const MAX_BENCH_SCHEMA: u64 = 5;
 
 /// Relative tolerance for deterministic float columns: analytic pulses
 /// are a pure function of the input, so anything past rounding noise is
@@ -72,9 +94,38 @@ struct EventRec {
     fields: BTreeMap<String, Value>,
 }
 
+/// Per-(kernel, dimension) aggregate parsed back out of a trace.
+#[derive(Clone, Copy, Default)]
+struct KernelDimRow {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    p50_ns: u64,
+    p90_ns: u64,
+    p99_ns: u64,
+}
+
+/// Per-kernel aggregate parsed back out of a trace.
+#[derive(Clone, Default)]
+struct KernelRow {
+    calls: u64,
+    total_ns: u64,
+    self_ns: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
 struct Trace {
     spans: Vec<SpanRec>,
     events: Vec<EventRec>,
+    /// Kernel call sites (JSONL traces only; feeds `report flame`).
+    kernel_sites: Vec<KernelSite>,
+    /// Per-(kernel, dim) rows, from `kernel_dim` lines or Chrome
+    /// kernel counter tracks.
+    kernel_dims: BTreeMap<(String, u64), KernelDimRow>,
+    /// Per-kernel totals, from `kernel_total` lines or summed Chrome
+    /// counter tracks.
+    kernel_totals: BTreeMap<String, KernelRow>,
 }
 
 fn num_u64(v: Option<&Value>) -> Option<u64> {
@@ -90,6 +141,14 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if let Ok(doc) = json::parse(text.trim()) {
         if let Some(Value::Arr(events)) = doc.get("traceEvents") {
+            if let Some(v) = num_u64(doc.get("paqocTraceSchema")) {
+                if v > TRACE_SCHEMA {
+                    return Err(format!(
+                        "{path}: trace schema v{v} is newer than this report understands \
+                         (max v{TRACE_SCHEMA}) — rebuild report from the matching revision"
+                    ));
+                }
+            }
             return Ok(from_chrome(events));
         }
     }
@@ -99,6 +158,8 @@ fn load_trace(path: &str) -> Result<Trace, String> {
 fn from_chrome(events: &[Value]) -> Trace {
     let mut spans = Vec::new();
     let mut journal = Vec::new();
+    let mut kernel_dims: BTreeMap<(String, u64), KernelDimRow> = BTreeMap::new();
+    let mut kernel_totals: BTreeMap<String, KernelRow> = BTreeMap::new();
     for e in events {
         let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
         // Timestamps are microseconds with fractional nanoseconds.
@@ -127,18 +188,50 @@ fn from_chrome(events: &[Value]) -> Trace {
                     fields,
                 });
             }
+            // The kernel counter tracks carry the raw (unsanitized)
+            // kernel name in args, so hostile display names round-trip.
+            "C" if e.get("cat").and_then(Value::as_str) == Some("kernel") => {
+                let args = e.get("args");
+                let get = |k: &str| num_u64(args.and_then(|a| a.get(k))).unwrap_or(0);
+                let Some(kernel) = args.and_then(|a| a.get("kernel")).and_then(Value::as_str)
+                else {
+                    continue;
+                };
+                if args.and_then(|a| a.get("dim")).is_some() {
+                    let row = kernel_dims
+                        .entry((kernel.to_string(), get("dim")))
+                        .or_default();
+                    row.calls += get("calls");
+                    row.total_ns += get("total_ns");
+                    row.self_ns += get("self_ns");
+                    let tot = kernel_totals.entry(kernel.to_string()).or_default();
+                    tot.calls += get("calls");
+                    tot.total_ns += get("total_ns");
+                    tot.self_ns += get("self_ns");
+                } else {
+                    let tot = kernel_totals.entry(kernel.to_string()).or_default();
+                    tot.allocs += get("allocs");
+                    tot.alloc_bytes += get("alloc_bytes");
+                }
+            }
             _ => {}
         }
     }
     Trace {
         spans,
         events: journal,
+        kernel_sites: Vec::new(),
+        kernel_dims,
+        kernel_totals,
     }
 }
 
 fn from_jsonl(text: &str) -> Result<Trace, String> {
     let mut spans = Vec::new();
     let mut journal = Vec::new();
+    let mut kernel_sites = Vec::new();
+    let mut kernel_dims: BTreeMap<(String, u64), KernelDimRow> = BTreeMap::new();
+    let mut kernel_totals: BTreeMap<String, KernelRow> = BTreeMap::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() {
@@ -170,12 +263,62 @@ fn from_jsonl(text: &str) -> Result<Trace, String> {
                     fields,
                 });
             }
+            Some("trace_meta") => {
+                if let Some(schema) = num_u64(v.get("trace_schema")) {
+                    if schema > TRACE_SCHEMA {
+                        return Err(format!(
+                            "trace schema v{schema} is newer than this report understands \
+                             (max v{TRACE_SCHEMA}) — rebuild report from the matching revision"
+                        ));
+                    }
+                }
+            }
+            Some("kernel") => {
+                let name = v.get("name").and_then(Value::as_str).unwrap_or("");
+                let parent = v.get("parent").and_then(Value::as_str).map(|p| {
+                    (
+                        p.to_string(),
+                        num_u64(v.get("parent_dim")).unwrap_or(0) as u32,
+                    )
+                });
+                kernel_sites.push(KernelSite {
+                    span: num_u64(v.get("span")),
+                    parent,
+                    name: name.to_string(),
+                    dim: num_u64(v.get("dim")).unwrap_or(0) as u32,
+                    calls: num_u64(v.get("calls")).unwrap_or(0),
+                    total_ns: num_u64(v.get("total_ns")).unwrap_or(0),
+                });
+            }
+            Some("kernel_dim") => {
+                let name = v.get("name").and_then(Value::as_str).unwrap_or("");
+                let key = (name.to_string(), num_u64(v.get("dim")).unwrap_or(0));
+                let row = kernel_dims.entry(key).or_default();
+                row.calls += num_u64(v.get("calls")).unwrap_or(0);
+                row.total_ns += num_u64(v.get("total_ns")).unwrap_or(0);
+                row.self_ns += num_u64(v.get("self_ns")).unwrap_or(0);
+                row.p50_ns = row.p50_ns.max(num_u64(v.get("p50_ns")).unwrap_or(0));
+                row.p90_ns = row.p90_ns.max(num_u64(v.get("p90_ns")).unwrap_or(0));
+                row.p99_ns = row.p99_ns.max(num_u64(v.get("p99_ns")).unwrap_or(0));
+            }
+            Some("kernel_total") => {
+                let name = v.get("name").and_then(Value::as_str).unwrap_or("");
+                let row = kernel_totals.entry(name.to_string()).or_default();
+                row.calls += num_u64(v.get("calls")).unwrap_or(0);
+                row.total_ns += num_u64(v.get("total_ns")).unwrap_or(0);
+                row.self_ns += num_u64(v.get("self_ns")).unwrap_or(0);
+                row.allocs += num_u64(v.get("allocs")).unwrap_or(0);
+                row.alloc_bytes += num_u64(v.get("alloc_bytes")).unwrap_or(0);
+            }
             _ => {}
         }
     }
     Ok(Trace {
         spans,
         events: journal,
+        kernel_sites,
+        kernel_dims,
+        kernel_totals,
     })
 }
 
@@ -368,9 +511,145 @@ fn cmd_workers(trace: &Trace) {
     }
 }
 
+/// `report hotspots`: kernels ranked by self-time, with per-dimension
+/// breakdowns and an optional baseline-trace diff.
+fn cmd_hotspots(trace: &Trace, baseline: Option<&Trace>, top: usize) {
+    if trace.kernel_totals.is_empty() {
+        println!("report: no kernel-probe data in this trace");
+        println!(
+            "(build with the default `kernel-probes` feature and run with \
+             PAQOC_KERNEL_PROBES=1 or tracing enabled, e.g. PAQOC_TRACE=trace.jsonl)"
+        );
+        return;
+    }
+    let mut rows: Vec<(&String, &KernelRow)> = trace.kernel_totals.iter().collect();
+    rows.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(b.0)));
+    let total_self: u64 = rows.iter().map(|(_, r)| r.self_ns).sum();
+    println!(
+        "{:<24} {:>10} {:>11} {:>11} {:>6} {:>8} {:>10}{}",
+        "kernel",
+        "calls",
+        "self_ms",
+        "total_ms",
+        "self%",
+        "allocs",
+        "alloc_kb",
+        if baseline.is_some() {
+            format!("  {:>11} {:>8}", "base_ms", "delta")
+        } else {
+            String::new()
+        }
+    );
+    for (name, row) in rows.iter().take(top) {
+        let share = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * row.self_ns as f64 / total_self as f64
+        };
+        let diff = baseline
+            .map(|b| match b.kernel_totals.get(*name) {
+                Some(base) if base.self_ns > 0 => {
+                    let rel = (row.self_ns as f64 - base.self_ns as f64) / base.self_ns as f64;
+                    format!(
+                        "  {:>11.3} {:>+7.1}%",
+                        base.self_ns as f64 / 1e6,
+                        rel * 100.0
+                    )
+                }
+                _ => format!("  {:>11} {:>8}", "-", "new"),
+            })
+            .unwrap_or_default();
+        println!(
+            "{:<24} {:>10} {:>11.3} {:>11.3} {:>5.1}% {:>8} {:>10.1}{diff}",
+            name,
+            row.calls,
+            row.self_ns as f64 / 1e6,
+            row.total_ns as f64 / 1e6,
+            share,
+            row.allocs,
+            row.alloc_bytes as f64 / 1024.0,
+        );
+        for ((dim_name, dim), d) in &trace.kernel_dims {
+            if dim_name != *name {
+                continue;
+            }
+            println!(
+                "  {:<22} {:>10} {:>11.3} {:>11.3}        p50/p90/p99 {:.1}/{:.1}/{:.1} us",
+                format!("{dim}x{dim}"),
+                d.calls,
+                d.self_ns as f64 / 1e6,
+                d.total_ns as f64 / 1e6,
+                d.p50_ns as f64 / 1e3,
+                d.p90_ns as f64 / 1e3,
+                d.p99_ns as f64 / 1e3,
+            );
+        }
+    }
+    if let Some(b) = baseline {
+        for (name, base) in &b.kernel_totals {
+            if !trace.kernel_totals.contains_key(name) {
+                println!(
+                    "{:<24} gone (baseline self {:.3} ms)",
+                    name,
+                    base.self_ns as f64 / 1e6
+                );
+            }
+        }
+    }
+    println!(
+        "({} kernel(s), {:.3} ms total self time)",
+        rows.len(),
+        total_self as f64 / 1e6
+    );
+}
+
+/// `report flame`: collapsed-stack export of the span tree plus kernel
+/// call sites, for inferno / speedscope / flamegraph.pl.
+fn cmd_flame(trace: &Trace) {
+    let snap = Snapshot {
+        spans: trace
+            .spans
+            .iter()
+            .map(|s| SpanRecord {
+                id: s.id,
+                parent: s.parent,
+                name: s.name.clone(),
+                thread: 0,
+                start_ns: 0,
+                duration_ns: s.duration_ns,
+            })
+            .collect(),
+        counters: BTreeMap::new(),
+        gauges: BTreeMap::new(),
+        histograms: BTreeMap::new(),
+        events: Vec::new(),
+        events_dropped: 0,
+        kernel_sites: trace.kernel_sites.clone(),
+        kernels: BTreeMap::new(),
+    };
+    let folded = snap.to_collapsed_stacks();
+    if folded.is_empty() {
+        eprintln!(
+            "report: nothing to fold — no spans or kernel sites in this trace \
+             (kernel sites ride only in JSONL exports)"
+        );
+        return;
+    }
+    print!("{folded}");
+}
+
 fn load_bench(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    json::parse(text.trim()).map_err(|e| format!("{path} does not parse: {e}"))
+    let doc = json::parse(text.trim()).map_err(|e| format!("{path} does not parse: {e}"))?;
+    if let Some(schema) = num_u64(doc.get("schema_version")) {
+        if schema > MAX_BENCH_SCHEMA {
+            return Err(format!(
+                "{path}: bench schema v{schema} is newer than this report understands \
+                 (max v{MAX_BENCH_SCHEMA}) — rebuild report from the matching revision"
+            ));
+        }
+    }
+    Ok(doc)
 }
 
 fn bench_map(doc: &Value) -> Result<BTreeMap<&str, &Value>, String> {
@@ -460,8 +739,22 @@ fn cmd_compare(current_path: &str, baseline_path: &str, counts_only: bool, wall_
             }
             _ => String::new(),
         };
+        // Kernel self-time is machine- and schedule-dependent: the
+        // totals are shown for orientation, never gated (soft column).
+        let kernel_total = |v: &Value| -> f64 {
+            match v.get("kernel_ns") {
+                Some(Value::Obj(map)) => map.values().filter_map(Value::as_num).sum(),
+                _ => 0.0,
+            }
+        };
+        let (kb, kc) = (kernel_total(base), kernel_total(cur));
+        let kernel_note = if kb > 0.0 && kc > 0.0 {
+            format!("  kernel {:.1}ms -> {:.1}ms (soft)", kb / 1e6, kc / 1e6)
+        } else {
+            String::new()
+        };
         if drifts.is_empty() {
-            println!("report: ok   {name}{wall_note}");
+            println!("report: ok   {name}{wall_note}{kernel_note}");
         } else {
             eprintln!("report: FAIL {name}: {}", drifts.join("; "));
             failures += 1;
@@ -507,6 +800,8 @@ fn usage() -> ! {
         "usage: report jobs TRACE [--top N]\n\
          \x20      report phases TRACE\n\
          \x20      report workers TRACE\n\
+         \x20      report hotspots TRACE [--top N] [--baseline TRACE]\n\
+         \x20      report flame TRACE\n\
          \x20      report compare CURRENT BASELINE [--counts-only] [--wall-tolerance X]"
     );
     std::process::exit(2);
@@ -518,9 +813,10 @@ fn main() {
         usage();
     };
     match cmd.as_str() {
-        "jobs" | "phases" | "workers" => {
+        "jobs" | "phases" | "workers" | "hotspots" | "flame" => {
             let Some(path) = args.get(1) else { usage() };
             let mut top = 10usize;
+            let mut baseline: Option<String> = None;
             let mut rest = args[2..].iter();
             while let Some(flag) = rest.next() {
                 match flag.as_str() {
@@ -528,19 +824,29 @@ fn main() {
                         Some(n) if n > 0 => top = n,
                         _ => usage(),
                     },
+                    "--baseline" if cmd == "hotspots" => match rest.next() {
+                        Some(p) => baseline = Some(p.clone()),
+                        None => usage(),
+                    },
                     _ => usage(),
                 }
             }
-            let trace = match load_trace(path) {
+            let load = |p: &str| match load_trace(p) {
                 Ok(t) => t,
                 Err(e) => {
                     eprintln!("report: {e}");
                     std::process::exit(1);
                 }
             };
+            let trace = load(path);
             match cmd.as_str() {
                 "jobs" => cmd_jobs(&trace, top),
                 "phases" => cmd_phases(&trace),
+                "hotspots" => {
+                    let base = baseline.as_deref().map(load);
+                    cmd_hotspots(&trace, base.as_ref(), top);
+                }
+                "flame" => cmd_flame(&trace),
                 _ => cmd_workers(&trace),
             }
         }

@@ -17,7 +17,7 @@ use paqoc_circuit::Instruction;
 use paqoc_device::{AnalyticModel, Device, PulseGenError, PulseSource};
 use paqoc_exec::{run_batch, ExecOptions, PulseJob, PulseSourceFactory};
 use paqoc_telemetry::{counter, event, observe, FieldValue};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -141,6 +141,15 @@ pub struct GenerationOutcome {
     pub degradations: Vec<Degradation>,
     /// `true` when a deadline or cost budget cut the run short.
     pub partial: bool,
+    /// Nanoseconds the prefetch batches spent in each numeric kernel
+    /// (worker-side probe attribution, see
+    /// [`BatchReport::kernel_ns`](paqoc_exec::BatchReport)). Empty when
+    /// kernel probes are disarmed or no batch ran. Schedule-dependent
+    /// soft data — never part of the deterministic outputs.
+    pub kernel_ns: BTreeMap<String, u64>,
+    /// Kernel call counts matching [`kernel_ns`](Self::kernel_ns);
+    /// deterministic across thread counts.
+    pub kernel_calls: BTreeMap<String, u64>,
 }
 
 /// Runs Algorithm 1 over a grouped circuit.
@@ -223,6 +232,8 @@ pub fn try_generate_customized_gates_batched(
     let mut report = GeneratorReport::default();
     let mut degradations: Vec<Degradation> = Vec::new();
     let mut partial = false;
+    let mut kernel_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut kernel_calls: BTreeMap<String, u64> = BTreeMap::new();
     let mut estimator = AnalyticModel::new();
 
     // Seed every starting group (basis gates and APA gates) with a free
@@ -526,7 +537,16 @@ pub fn try_generate_customized_gates_batched(
         // rollback rebuild the sweep re-runs, and with it the prefetch
         // (already-attached shapes are local hits and produce no jobs).
         if let Some(ctx) = exec {
-            prefetch_pending_pulses(grouped, device, table, opts, limits, ctx);
+            prefetch_pending_pulses(
+                grouped,
+                device,
+                table,
+                opts,
+                limits,
+                ctx,
+                &mut kernel_ns,
+                &mut kernel_calls,
+            );
         }
         let mut rollback: Option<usize> = None;
         for id in grouped.group_ids() {
@@ -684,6 +704,8 @@ pub fn try_generate_customized_gates_batched(
         report,
         degradations,
         partial,
+        kernel_ns,
+        kernel_calls,
     })
 }
 
@@ -694,6 +716,11 @@ pub fn try_generate_customized_gates_batched(
 /// exact sequential stats parity ([`PulseTable::absorb_batch`]);
 /// failures and budget skips are left for the sequential ladder, whose
 /// semantics are unchanged. A no-op when the table has no shared layer.
+///
+/// The batch's worker-side kernel-probe attribution is folded into the
+/// `kernel_ns`/`kernel_calls` accumulators so the compile result can
+/// report it (observational only; never touches the pulses).
+#[allow(clippy::too_many_arguments)]
 fn prefetch_pending_pulses(
     grouped: &GroupedCircuit,
     device: &Device,
@@ -701,6 +728,8 @@ fn prefetch_pending_pulses(
     opts: &PaqocOptions,
     limits: &GenerationLimits,
     ctx: &BatchContext,
+    kernel_ns: &mut BTreeMap<String, u64>,
+    kernel_calls: &mut BTreeMap<String, u64>,
 ) {
     let Some(shared) = table.shared().cloned() else {
         return;
@@ -737,6 +766,12 @@ fn prefetch_pending_pulses(
     paqoc_telemetry::gauge!("core.sweep_pending_pulses", jobs.len() as f64);
     let report = run_batch(&jobs, device, ctx.factory.as_ref(), &shared, &exec_opts);
     paqoc_telemetry::gauge!("core.sweep_pending_pulses", 0.0);
+    for (name, ns) in &report.kernel_ns {
+        *kernel_ns.entry(name.clone()).or_insert(0) += ns;
+    }
+    for (name, calls) in &report.kernel_calls {
+        *kernel_calls.entry(name.clone()).or_insert(0) += calls;
+    }
     table.absorb_batch(&jobs, &report);
 }
 

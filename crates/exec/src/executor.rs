@@ -28,7 +28,7 @@ use crate::factory::{job_seed, PulseSourceFactory};
 use crate::shared_table::{Claim, Provenance, SharedPulseTable};
 use paqoc_circuit::Instruction;
 use paqoc_device::{Device, PulseEstimate};
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -223,6 +223,15 @@ pub struct BatchReport {
     /// each). Zero when telemetry is disabled — the watchdog thread
     /// only runs while collection is on.
     pub stalls: usize,
+    /// Nanoseconds spent in each numeric kernel by this batch's
+    /// workers, keyed by kernel name (`mathkit.expm`, …). Empty when
+    /// kernel probes are disarmed. Times are schedule-dependent — soft
+    /// data, never folded into deterministic outputs.
+    pub kernel_ns: BTreeMap<String, u64>,
+    /// Kernel call counts matching [`kernel_ns`](Self::kernel_ns).
+    /// Unlike the times, the counts are deterministic across thread
+    /// counts: the same jobs run the same kernels.
+    pub kernel_calls: BTreeMap<String, u64>,
 }
 
 impl BatchReport {
@@ -274,6 +283,9 @@ struct WorkerYield {
     pending: Vec<usize>,
     /// This worker's utilization accounting.
     stats: WorkerStats,
+    /// Per-kernel `(calls, ns)` deltas this worker's jobs produced,
+    /// from the thread-local probe totals. Empty when probes are off.
+    kernels: BTreeMap<&'static str, (u64, u64)>,
 }
 
 /// What a worker is generating right now, published for the stall
@@ -428,6 +440,7 @@ pub fn run_batch(
                     done: Vec::new(),
                     pending: Vec::new(),
                     stats: WorkerStats::default(),
+                    kernels: BTreeMap::new(),
                 })
             })
             .collect();
@@ -441,12 +454,18 @@ pub fn run_batch(
     let mut statuses = vec![JobStatus::Skipped(SkipReason::Deadline); jobs.len()];
     let mut pending = Vec::new();
     let mut workers = Vec::with_capacity(yields.len());
+    let mut kernel_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut kernel_calls: BTreeMap<String, u64> = BTreeMap::new();
     for y in yields {
         for (idx, status) in y.done {
             statuses[idx] = status;
         }
         pending.extend(y.pending);
         workers.push(y.stats);
+        for (name, (calls, ns)) in y.kernels {
+            *kernel_calls.entry(name.to_string()).or_insert(0) += calls;
+            *kernel_ns.entry(name.to_string()).or_insert(0) += ns;
+        }
     }
     workers.sort_by_key(|w| w.worker);
     for idx in pending {
@@ -466,6 +485,8 @@ pub fn run_batch(
         wall: start.elapsed(),
         workers,
         stalls: stall_count.load(Ordering::Acquire) as usize,
+        kernel_ns,
+        kernel_calls,
         ..BatchReport::default()
     };
     report.tally();
@@ -499,6 +520,7 @@ pub fn run_batch(
             stalls = report.stalls as u64,
             cost_units = report.cost_spent_units,
             wall_us = report.wall.as_micros() as u64,
+            kernel_us = report.kernel_ns.values().sum::<u64>() / 1_000,
         );
     }
     report
@@ -538,6 +560,16 @@ fn worker(
     // to the batch span, so the merged journal keeps the tree intact.
     let _span = paqoc_telemetry::span_with_parent("exec.worker", batch_id);
     let metrics_on = paqoc_telemetry::enabled();
+    // Kernel attribution rides on the thread-local probe totals, which
+    // are monotone between flushes: snapshotting them before and after
+    // a job (or the whole worker) gives this worker's share without
+    // touching the global store or any lock.
+    let probes_on = paqoc_telemetry::kernel_probes_enabled();
+    let kernels_at_start = if probes_on {
+        paqoc_telemetry::kernel_thread_totals()
+    } else {
+        BTreeMap::new()
+    };
     let worker_start = Instant::now();
     let mut stats = WorkerStats {
         worker: me,
@@ -567,6 +599,11 @@ fn worker(
             paqoc_telemetry::add_gauge("exec.jobs_pending", -1.0);
             paqoc_telemetry::add_gauge("exec.workers_busy", 1.0);
         }
+        let job_kernels_before = if metrics_on && probes_on {
+            Some(paqoc_telemetry::kernel_thread_totals())
+        } else {
+            None
+        };
         let busy_start = Instant::now();
         let disposition = run_one(
             me,
@@ -587,6 +624,9 @@ fn worker(
         if metrics_on {
             paqoc_telemetry::add_gauge("exec.workers_busy", -1.0);
         }
+        let job_kernel_ns = job_kernels_before
+            .map(|before| kernel_delta(&before).values().map(|&(_, ns)| ns).sum())
+            .unwrap_or(0u64);
         match disposition {
             Disposition::Done(status) => {
                 if metrics_on {
@@ -597,6 +637,7 @@ fn worker(
                         outcome = status_label(&status),
                         priority = jobs[idx].priority,
                         wall_us = busy_ns / 1_000,
+                        kernel_us = job_kernel_ns / 1_000,
                     );
                 }
                 done.push((idx, status));
@@ -605,11 +646,30 @@ fn worker(
         }
     }
     stats.wall_ns = elapsed_ns(worker_start);
+    let kernels = if probes_on {
+        kernel_delta(&kernels_at_start)
+    } else {
+        BTreeMap::new()
+    };
     WorkerYield {
         done,
         pending,
         stats,
+        kernels,
     }
+}
+
+/// Per-kernel `(calls, ns)` growth of this thread's probe totals since
+/// the `before` snapshot. Zero-growth kernels are dropped.
+fn kernel_delta(before: &BTreeMap<&'static str, (u64, u64)>) -> BTreeMap<&'static str, (u64, u64)> {
+    paqoc_telemetry::kernel_thread_totals()
+        .into_iter()
+        .filter_map(|(name, (calls, ns))| {
+            let (c0, ns0) = before.get(name).copied().unwrap_or((0, 0));
+            let delta = (calls.saturating_sub(c0), ns.saturating_sub(ns0));
+            (delta != (0, 0)).then_some((name, delta))
+        })
+        .collect()
 }
 
 /// Executes one pulled job: shared deadline/budget gates, then the

@@ -219,6 +219,7 @@ fn adam_loop(
 
     for iter in 1..=opts.max_iters {
         // Forward pass: per-step propagators and cumulative products.
+        let propagation = paqoc_telemetry::kernel_enter("grape.propagation", controls.dim());
         let mut step_h: Vec<Matrix> = Vec::with_capacity(steps);
         let mut props: Vec<Matrix> = Vec::with_capacity(steps);
         for row in theta.iter() {
@@ -247,6 +248,8 @@ fn adam_loop(
         for j in (0..steps.saturating_sub(1)).rev() {
             bwd[j] = bwd[j + 1].matmul(&props[j + 1]);
         }
+
+        drop(propagation);
 
         let total = &fwd[steps - 1];
         let overlap = target.dagger().matmul(total).trace();
@@ -286,6 +289,7 @@ fn adam_loop(
 
         // Gradient: dg/dα_{kj} = Tr(U_t† · B_j · (−i·2π·dt·H_k) · F_j)
         // with F_j the prefix *including* step j (first-order GRAPE).
+        paqoc_telemetry::kernel_probe!("grape.gradient", controls.dim());
         let tdag = target.dagger();
         for j in 0..steps {
             // M_j = U_t† · B_j ; row-product with (−i 2π dt H_k) F_j.

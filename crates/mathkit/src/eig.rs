@@ -20,6 +20,13 @@ use crate::matrix::Matrix;
 pub fn char_poly(a: &Matrix) -> Vec<C64> {
     assert!(a.is_square(), "char_poly requires a square matrix");
     let n = a.rows();
+    // Faddeev–LeVerrier clones the running power matrix each step;
+    // count that scratch (the matmuls count their own).
+    paqoc_telemetry::kernel_alloc(
+        "mathkit.eig",
+        n as u64,
+        (n * n * n * std::mem::size_of::<C64>()) as u64,
+    );
     let mut coeffs = vec![C64::ONE];
     let mut m = a.clone();
     for k in 1..=n {
@@ -206,6 +213,7 @@ fn refine_multiple_roots(monic: &[C64], roots: &mut [C64]) {
 /// assert!((evs[0] + 1.0).abs() < 1e-9 && (evs[1] - 1.0).abs() < 1e-9);
 /// ```
 pub fn eigenvalues(a: &Matrix) -> Vec<C64> {
+    paqoc_telemetry::kernel_probe!("mathkit.eig", a.rows());
     poly_roots(&char_poly(a))
 }
 

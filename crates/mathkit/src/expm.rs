@@ -44,6 +44,16 @@ const PADE6: [f64; 7] = [
 /// ```
 pub fn expm(a: &Matrix) -> Matrix {
     assert!(a.is_square(), "expm requires a square matrix");
+    paqoc_telemetry::kernel_probe!("mathkit.expm", a.rows());
+    // The Padé path allocates 9 fresh n×n scratch matrices per call
+    // (A_scaled, A², A⁴, A⁶, V, U_inner, U, V−U, V+U; matmul/solve
+    // count their own) — making that churn visible is what lets
+    // scratch reuse be measured instead of guessed.
+    paqoc_telemetry::kernel_alloc(
+        "mathkit.expm",
+        9,
+        (9 * a.rows() * a.rows() * std::mem::size_of::<C64>()) as u64,
+    );
     let norm = a.one_norm();
     let squarings = if norm <= 0.5 {
         0

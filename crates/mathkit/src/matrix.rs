@@ -204,6 +204,12 @@ impl Matrix {
             "matmul inner dimensions must agree ({}×{} · {}×{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        paqoc_telemetry::kernel_probe!("mathkit.matmul", self.rows);
+        paqoc_telemetry::kernel_alloc(
+            "mathkit.matmul",
+            1,
+            (self.rows * rhs.cols * std::mem::size_of::<C64>()) as u64,
+        );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         let n = rhs.cols;
         // i-k-j loop order: streams over the output row and the rhs row,
@@ -339,8 +345,16 @@ impl Matrix {
     pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
         assert!(self.is_square(), "solve requires a square matrix");
         assert_eq!(self.rows, b.rows, "solve shape mismatch");
+        paqoc_telemetry::kernel_probe!("mathkit.solve", self.rows);
         let n = self.rows;
         let m = b.cols;
+        // The elimination clones both operands — scratch that a reuse
+        // pass would eliminate, so it is counted.
+        paqoc_telemetry::kernel_alloc(
+            "mathkit.solve",
+            2,
+            ((self.data.len() + b.data.len()) * std::mem::size_of::<C64>()) as u64,
+        );
         let mut a = self.clone();
         let mut x = b.clone();
         for col in 0..n {

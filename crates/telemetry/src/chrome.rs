@@ -15,7 +15,7 @@
 //! viewers reject out-of-order traces.
 
 use crate::json::write_escaped;
-use crate::{FieldValue, Snapshot, METRICS_SAMPLE_EVENT};
+use crate::{FieldValue, Snapshot, METRICS_SAMPLE_EVENT, TRACE_SCHEMA};
 use std::fmt::Write as _;
 
 /// One pre-rendered trace event, keyed for the monotonic sort.
@@ -165,10 +165,55 @@ impl Snapshot {
                 body,
             });
         }
+        // Kernel-probe totals as a counter track: one final sample per
+        // (kernel, dimension) plus an allocation sample per kernel. The
+        // kernel name and dimension ride in args (not just the display
+        // name), so readers recover them even for hostile names.
+        for (name, k) in &self.kernels {
+            for (dim, d) in &k.by_dim {
+                let mut body = String::new();
+                body.push_str("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+                write_ts(&mut body, last_ts);
+                body.push_str(",\"cat\":\"kernel\",\"name\":");
+                write_escaped(&mut body, &format!("kernel.{name}.{dim}x{dim}"));
+                body.push_str(",\"args\":{\"kernel\":");
+                write_escaped(&mut body, name);
+                let _ = write!(
+                    body,
+                    ",\"dim\":{dim},\"calls\":{},\"total_ns\":{},\"self_ns\":{}}}}}",
+                    d.calls, d.total_ns, d.self_ns
+                );
+                events.push(TraceEvent {
+                    ts_ns: last_ts,
+                    body,
+                });
+            }
+            if k.allocs > 0 {
+                let mut body = String::new();
+                body.push_str("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+                write_ts(&mut body, last_ts);
+                body.push_str(",\"cat\":\"kernel\",\"name\":");
+                write_escaped(&mut body, &format!("kernel.{name}.alloc"));
+                body.push_str(",\"args\":{\"kernel\":");
+                write_escaped(&mut body, name);
+                let _ = write!(
+                    body,
+                    ",\"allocs\":{},\"alloc_bytes\":{}}}}}",
+                    k.allocs, k.alloc_bytes
+                );
+                events.push(TraceEvent {
+                    ts_ns: last_ts,
+                    body,
+                });
+            }
+        }
         events.sort_by_key(|e| e.ts_ns);
 
         let mut out = String::new();
-        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let _ = write!(
+            out,
+            "{{\"displayTimeUnit\":\"ns\",\"paqocTraceSchema\":{TRACE_SCHEMA},\"traceEvents\":["
+        );
         // Thread-name metadata first (ph:"M" carries no timestamp
         // semantics, so it does not break monotonicity).
         let mut threads: Vec<u64> = self

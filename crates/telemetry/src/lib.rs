@@ -56,9 +56,16 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod flame;
 pub mod json;
+mod kernel;
 mod report;
 pub mod resources;
+
+pub use kernel::{
+    kernel_alloc, kernel_enter, kernel_flush, kernel_probes_enabled, kernel_thread_totals,
+    set_kernel_probes, KernelDimStats, KernelProbe, KernelSite, KernelStats, KERNEL_PROBES_ENV_VAR,
+};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -95,6 +102,13 @@ static RESET_GENERATION: AtomicU64 = AtomicU64::new(0);
 /// events than this, the oldest are dropped (counted in
 /// [`Snapshot::events_dropped`]).
 pub const EVENT_CAPACITY: usize = 65_536;
+
+/// Version of the exported trace formats (JSONL `trace_meta` line,
+/// Chrome-trace `paqocTraceSchema` key). Readers must reject traces
+/// stamped with a *newer* version instead of silently skipping the
+/// lines they do not understand; unknown line types within the same
+/// version remain skippable (additions bump the version).
+pub const TRACE_SCHEMA: u64 = 1;
 
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
@@ -222,6 +236,10 @@ pub fn reset() {
         .lock()
         .expect("telemetry gauge map poisoned")
         .clear();
+    // Kernel-probe state also lives outside the registry (thread-local
+    // tables + a dedicated store stripe): wipe the store, and let each
+    // thread's table self-clear against the bumped generation.
+    kernel::clear_store();
 }
 
 /// One completed span: a named scope with wall-clock timing and its
@@ -305,6 +323,24 @@ impl Histogram {
             };
             let i = sketch_index(v.abs());
             buckets[i] = buckets[i].saturating_add(1);
+        }
+    }
+
+    /// Folds another histogram into this one: counts, sums and sketch
+    /// buckets add; min/max widen. Used to merge per-thread kernel
+    /// latency sketches into the global store.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.zero += other.zero;
+        for i in 0..SKETCH_BUCKETS {
+            self.neg[i] = self.neg[i].saturating_add(other.neg[i]);
+            self.pos[i] = self.pos[i].saturating_add(other.pos[i]);
         }
     }
 
@@ -479,10 +515,20 @@ pub struct Snapshot {
     pub events: Vec<EventRecord>,
     /// Events evicted from the ring buffer ([`EVENT_CAPACITY`]).
     pub events_dropped: u64,
+    /// Kernel-probe call sites (span × parent kernel × kernel × dim),
+    /// deterministically sorted.
+    pub kernel_sites: Vec<KernelSite>,
+    /// Per-kernel aggregates (calls, ns, self-time, allocation
+    /// counters, per-dimension breakdowns) by kernel name.
+    pub kernels: BTreeMap<String, KernelStats>,
 }
 
 /// Copies the current telemetry state out of the global registry.
+/// Flushes the calling thread's kernel-probe table first; foreign
+/// threads flush theirs at exit (worker pools) or via [`kernel_flush`].
 pub fn snapshot() -> Snapshot {
+    kernel_flush();
+    let (kernel_sites, kernels) = kernel::snapshot_kernels();
     let reg = registry().lock().expect("telemetry registry poisoned");
     Snapshot {
         spans: reg.spans.clone(),
@@ -491,6 +537,8 @@ pub fn snapshot() -> Snapshot {
         histograms: reg.histograms.clone(),
         events: reg.events.iter().cloned().collect(),
         events_dropped: reg.events_dropped,
+        kernel_sites,
+        kernels,
     }
 }
 

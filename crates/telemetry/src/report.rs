@@ -2,18 +2,25 @@
 //! span-tree / counter-table report printed by the `profile` bench bin.
 
 use crate::json::write_escaped;
-use crate::{FieldValue, Snapshot, SpanRecord};
+use crate::{FieldValue, Snapshot, SpanRecord, TRACE_SCHEMA};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 impl Snapshot {
-    /// Serializes the snapshot as JSON Lines: one object per span (in
-    /// completion order), then one per counter, one per gauge, one per
-    /// histogram (percentiles included) and one per journal event, plus
-    /// an `events_dropped` line when the ring buffer evicted anything.
-    /// Every line parses back with [`crate::json::parse`].
+    /// Serializes the snapshot as JSON Lines: a `trace_meta` header
+    /// (carrying [`TRACE_SCHEMA`]), then one object per span (in
+    /// completion order), one per counter, one per gauge, one per
+    /// histogram (percentiles included), one per kernel-probe site /
+    /// per-dimension aggregate / kernel total, and one per journal
+    /// event, plus an `events_dropped` line when the ring buffer
+    /// evicted anything. Every line parses back with
+    /// [`crate::json::parse`].
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"trace_meta\",\"trace_schema\":{TRACE_SCHEMA}}}"
+        );
         for s in &self.spans {
             out.push_str("{\"type\":\"span\",\"id\":");
             let _ = write!(out, "{}", s.id);
@@ -60,6 +67,54 @@ impl Snapshot {
             out.push_str(",\"p99\":");
             write_f64(&mut out, h.p99());
             out.push_str("}\n");
+        }
+        for site in &self.kernel_sites {
+            out.push_str("{\"type\":\"kernel\",\"name\":");
+            write_escaped(&mut out, &site.name);
+            let _ = write!(out, ",\"dim\":{},\"span\":", site.dim);
+            match site.span {
+                Some(s) => {
+                    let _ = write!(out, "{s}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"parent\":");
+            match &site.parent {
+                Some((name, dim)) => {
+                    write_escaped(&mut out, name);
+                    let _ = write!(out, ",\"parent_dim\":{dim}");
+                }
+                None => out.push_str("null,\"parent_dim\":null"),
+            }
+            let _ = writeln!(
+                out,
+                ",\"calls\":{},\"total_ns\":{}}}",
+                site.calls, site.total_ns
+            );
+        }
+        for (name, k) in &self.kernels {
+            for (dim, d) in &k.by_dim {
+                out.push_str("{\"type\":\"kernel_dim\",\"name\":");
+                write_escaped(&mut out, name);
+                let _ = write!(
+                    out,
+                    ",\"dim\":{dim},\"calls\":{},\"total_ns\":{},\"self_ns\":{},\"p50_ns\":",
+                    d.calls, d.total_ns, d.self_ns
+                );
+                write_f64(&mut out, d.hist.p50());
+                out.push_str(",\"p90_ns\":");
+                write_f64(&mut out, d.hist.p90());
+                out.push_str(",\"p99_ns\":");
+                write_f64(&mut out, d.hist.p99());
+                out.push_str("}\n");
+            }
+            out.push_str("{\"type\":\"kernel_total\",\"name\":");
+            write_escaped(&mut out, name);
+            let _ = writeln!(
+                out,
+                ",\"calls\":{},\"total_ns\":{},\"self_ns\":{},\"alloc_bytes\":{},\"allocs\":{}}}",
+                k.calls, k.total_ns, k.self_ns, k.alloc_bytes, k.allocs
+            );
         }
         for e in &self.events {
             out.push_str("{\"type\":\"event\",\"seq\":");
@@ -170,6 +225,28 @@ impl Snapshot {
                     h.p90(),
                     h.p99(),
                     h.max
+                );
+            }
+        }
+        if !self.kernels.is_empty() {
+            out.push_str("── kernel hotspots (self time) ────────────────────────────\n");
+            let _ = writeln!(
+                out,
+                "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10}",
+                "kernel", "calls", "self ms", "total ms", "allocs", "alloc KB"
+            );
+            let mut ranked: Vec<(&String, &crate::KernelStats)> = self.kernels.iter().collect();
+            ranked.sort_by(|a, b| b.1.self_ns.cmp(&a.1.self_ns).then(a.0.cmp(b.0)));
+            for (name, k) in ranked {
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>10} {:>12.3} {:>12.3} {:>10} {:>10.1}",
+                    name,
+                    k.calls,
+                    k.self_ns as f64 / 1e6,
+                    k.total_ns as f64 / 1e6,
+                    k.allocs,
+                    k.alloc_bytes as f64 / 1024.0
                 );
             }
         }

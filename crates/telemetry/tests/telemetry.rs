@@ -107,13 +107,23 @@ fn jsonl_lines_parse_back_to_the_snapshot() {
 
     let jsonl = snap.to_jsonl();
     let lines: Vec<&str> = jsonl.lines().collect();
-    assert_eq!(lines.len(), 3);
+    assert_eq!(lines.len(), 4);
     let parsed: Vec<Value> = lines
         .iter()
         .map(|l| parse(l).expect("every JSONL line parses"))
         .collect();
 
-    let span_line = &parsed[0];
+    let meta_line = &parsed[0];
+    assert_eq!(
+        meta_line.get("type").and_then(Value::as_str),
+        Some("trace_meta")
+    );
+    assert_eq!(
+        meta_line.get("trace_schema").and_then(Value::as_num),
+        Some(paqoc_telemetry::TRACE_SCHEMA as f64)
+    );
+
+    let span_line = &parsed[1];
     assert_eq!(span_line.get("type").and_then(Value::as_str), Some("span"));
     assert_eq!(
         span_line.get("name").and_then(Value::as_str),
@@ -125,14 +135,14 @@ fn jsonl_lines_parse_back_to_the_snapshot() {
         Some(snap.spans[0].duration_ns as f64)
     );
 
-    let counter_line = &parsed[1];
+    let counter_line = &parsed[2];
     assert_eq!(
         counter_line.get("name").and_then(Value::as_str),
         Some("beta.count")
     );
     assert_eq!(counter_line.get("value").and_then(Value::as_num), Some(7.0));
 
-    let hist_line = &parsed[2];
+    let hist_line = &parsed[3];
     assert_eq!(hist_line.get("count").and_then(Value::as_num), Some(2.0));
     assert_eq!(hist_line.get("sum").and_then(Value::as_num), Some(4.0));
     assert_eq!(hist_line.get("min").and_then(Value::as_num), Some(1.5));
@@ -522,4 +532,210 @@ fn macros_expand_to_the_collector_calls() {
     assert_eq!(snap.spans_named("macro_span").len(), 1);
     assert_eq!(snap.counters["macro.default_delta"], 1);
     assert_eq!(snap.counters["macro.explicit_delta"], 5);
+}
+
+#[test]
+fn kernel_probes_attribute_counts_dims_and_allocs() {
+    let _lock = fresh();
+    {
+        let _s = span("compile");
+        {
+            paqoc_telemetry::kernel_probe!("test.expm", 4);
+            {
+                paqoc_telemetry::kernel_probe!("test.matmul", 4);
+            }
+            {
+                paqoc_telemetry::kernel_probe!("test.matmul", 4);
+            }
+            paqoc_telemetry::kernel_alloc("test.expm", 9, 9 * 256);
+        }
+        {
+            paqoc_telemetry::kernel_probe!("test.matmul", 8);
+        }
+    }
+    let snap = snapshot();
+    set_enabled(false);
+
+    let expm = &snap.kernels["test.expm"];
+    assert_eq!(expm.calls, 1);
+    assert_eq!(expm.allocs, 9);
+    assert_eq!(expm.alloc_bytes, 9 * 256);
+
+    let matmul = &snap.kernels["test.matmul"];
+    assert_eq!(matmul.calls, 3);
+    assert_eq!(matmul.by_dim[&4].calls, 2);
+    assert_eq!(matmul.by_dim[&8].calls, 1);
+    assert_eq!(matmul.by_dim[&4].hist.count, 2, "per-dim latency sketch");
+
+    // The 4×4 matmuls ran inside the expm probe; the 8×8 one did not.
+    let nested = snap
+        .kernel_sites
+        .iter()
+        .find(|s| s.name == "test.matmul" && s.dim == 4)
+        .expect("nested matmul site");
+    assert_eq!(nested.parent, Some(("test.expm".to_string(), 4)));
+    let top = snap
+        .kernel_sites
+        .iter()
+        .find(|s| s.name == "test.matmul" && s.dim == 8)
+        .expect("top-level matmul site");
+    assert_eq!(top.parent, None);
+
+    // Self-time: expm total minus the nested matmul time, exactly.
+    assert_eq!(
+        expm.total_ns - expm.self_ns,
+        matmul.by_dim[&4].total_ns,
+        "nested kernel time subtracts from the parent's self time"
+    );
+
+    // Every probe ran under the compile span.
+    let span_id = snap.spans_named("compile")[0].id;
+    assert!(snap.kernel_sites.iter().all(|s| s.span == Some(span_id)));
+}
+
+#[test]
+fn reset_clears_kernel_probe_state() {
+    let _lock = fresh();
+    {
+        paqoc_telemetry::kernel_probe!("stale.kernel", 4);
+    }
+    paqoc_telemetry::kernel_alloc("stale.kernel", 1, 1024);
+    assert!(
+        snapshot().kernels.contains_key("stale.kernel"),
+        "probe recorded before the reset"
+    );
+    // A guard held across a reset belongs to the wiped epoch: it must
+    // record nothing (mirroring the span-stack generation guarantee).
+    let held = paqoc_telemetry::kernel_enter("stale.held", 2);
+    reset();
+    drop(held);
+    {
+        paqoc_telemetry::kernel_probe!("fresh.kernel", 2);
+    }
+    let snap = snapshot();
+    set_enabled(false);
+    assert!(
+        !snap.kernels.contains_key("stale.kernel"),
+        "reset must clear kernel counters, histograms and alloc gauges"
+    );
+    assert!(
+        !snap.kernels.contains_key("stale.held"),
+        "a probe spanning a reset records nothing"
+    );
+    assert_eq!(
+        snap.kernels["fresh.kernel"].calls, 1,
+        "post-reset counts start from zero"
+    );
+    assert!(snap.kernel_sites.iter().all(|s| s.name == "fresh.kernel"));
+}
+
+#[test]
+fn collapsed_stacks_fold_spans_and_kernels() {
+    use paqoc_telemetry::{KernelSite, Snapshot, SpanRecord};
+    // Synthetic snapshot: deterministic durations, hostile names.
+    let spans = vec![
+        SpanRecord {
+            id: 1,
+            parent: None,
+            name: "compile".into(),
+            thread: 0,
+            start_ns: 0,
+            duration_ns: 10_000_000,
+        },
+        SpanRecord {
+            id: 2,
+            parent: Some(1),
+            name: "grape; evil\tname".into(),
+            thread: 0,
+            start_ns: 0,
+            duration_ns: 8_000_000,
+        },
+    ];
+    let kernel_sites = vec![
+        KernelSite {
+            span: Some(2),
+            parent: None,
+            name: "expm".into(),
+            dim: 4,
+            calls: 10,
+            total_ns: 3_000_000,
+        },
+        KernelSite {
+            span: Some(2),
+            parent: Some(("expm".to_string(), 4)),
+            name: "matmul".into(),
+            dim: 4,
+            calls: 30,
+            total_ns: 2_000_000,
+        },
+    ];
+    let snap = Snapshot {
+        spans,
+        kernel_sites,
+        ..Default::default()
+    };
+    let out = snap.to_collapsed_stacks();
+    let lines: Vec<&str> = out.lines().collect();
+    // Span self-times: compile 10ms − 8ms child; the grape span sheds
+    // its 3ms of top-level kernel time. Hostile `;`/whitespace become
+    // `_` so they cannot forge frames.
+    assert!(lines.contains(&"compile 2000"), "lines: {lines:?}");
+    assert!(lines.contains(&"compile;grape__evil_name 5000"));
+    // Kernel self-times nest under the span path and the parent probe.
+    assert!(lines.contains(&"compile;grape__evil_name;expm(4x4) 1000"));
+    assert!(lines.contains(&"compile;grape__evil_name;expm(4x4);matmul(4x4) 2000"));
+    assert_eq!(lines.len(), 4);
+    // Structural invariant: exactly one space per line, integer value.
+    for line in &lines {
+        let (path, value) = line.rsplit_once(' ').expect("frame/value separator");
+        assert!(!path.contains(' '), "no whitespace inside frames: {line}");
+        value.parse::<u64>().expect("integer self-microseconds");
+    }
+}
+
+#[test]
+fn chrome_trace_renders_kernel_counter_track() {
+    let _lock = fresh();
+    {
+        let _s = span("compile");
+        paqoc_telemetry::kernel_probe!("evil\"kernel;name", 4);
+    }
+    paqoc_telemetry::kernel_alloc("evil\"kernel;name", 2, 512);
+    let snap = snapshot();
+    set_enabled(false);
+
+    let chrome = snap.to_chrome_trace();
+    let doc = parse(&chrome).expect("chrome trace with kernel track parses");
+    assert_eq!(
+        doc.get("paqocTraceSchema").and_then(Value::as_num),
+        Some(paqoc_telemetry::TRACE_SCHEMA as f64)
+    );
+    let Some(Value::Arr(events)) = doc.get("traceEvents") else {
+        panic!("traceEvents array");
+    };
+    let kernel_events: Vec<&Value> = events
+        .iter()
+        .filter(|e| e.get("cat").and_then(Value::as_str) == Some("kernel"))
+        .collect();
+    // One per-dimension sample plus one allocation sample.
+    assert_eq!(kernel_events.len(), 2);
+    let dim_sample = kernel_events
+        .iter()
+        .find(|e| e.get("args").and_then(|a| a.get("dim")).is_some())
+        .expect("per-dim kernel counter");
+    let args = dim_sample.get("args").expect("args");
+    assert_eq!(
+        args.get("kernel").and_then(Value::as_str),
+        Some("evil\"kernel;name"),
+        "the raw kernel name rides in args, JSON-escaped"
+    );
+    assert_eq!(args.get("dim").and_then(Value::as_num), Some(4.0));
+    assert_eq!(args.get("calls").and_then(Value::as_num), Some(1.0));
+    let alloc_sample = kernel_events
+        .iter()
+        .find(|e| e.get("args").and_then(|a| a.get("allocs")).is_some())
+        .expect("alloc kernel counter");
+    let args = alloc_sample.get("args").expect("args");
+    assert_eq!(args.get("allocs").and_then(Value::as_num), Some(2.0));
+    assert_eq!(args.get("alloc_bytes").and_then(Value::as_num), Some(512.0));
 }

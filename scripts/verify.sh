@@ -63,6 +63,24 @@ else
     echo "== executor speedup gate skipped ($(nproc) core(s) < 4) =="
 fi
 
+echo "== kernel-probe overhead gate (quick suite, probes on vs off) =="
+cargo run --release -p paqoc-bench --bin probe_overhead
+
+echo "== report hotspots / flame smoke over a kernel-probed trace =="
+# A quick analytic batch compile still drives the mathkit kernels (the
+# Weyl-invariant matmuls and eigensolves inside the latency model), so
+# the trace must yield a non-empty hotspot ranking and folded stacks.
+PAQOC_TRACE=target/verify_kernels.jsonl PAQOC_KERNEL_PROBES=1 \
+    cargo run --release -p paqoc-bench --bin profile -- bv m0 --batch > /dev/null
+cargo run --release -p paqoc-bench --bin report -- hotspots \
+    target/verify_kernels.jsonl | tee target/verify_hotspots.txt
+grep -q "mathkit.matmul" target/verify_hotspots.txt
+grep -q "mathkit.eig" target/verify_hotspots.txt
+cargo run --release -p paqoc-bench --bin report -- flame \
+    target/verify_kernels.jsonl > target/verify_flame.txt
+grep -q "mathkit.matmul" target/verify_flame.txt
+echo "kernel trace smoke OK"
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -246,10 +246,11 @@ fn gate_unitaries_respect_arity() {
 }
 
 /// A short random string biased heavily toward JSON-hostile characters:
-/// quotes, backslashes, control characters, multi-byte code points.
+/// quotes, backslashes, control characters, multi-byte code points —
+/// plus `;` and space, the collapsed-stack format's own separators.
 fn hostile_name(rng: &mut Rng) -> String {
-    const PALETTE: [char; 12] = [
-        '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{7f}', '/', 'é', '→', 'a', '0',
+    const PALETTE: [char; 14] = [
+        '"', '\\', '\n', '\t', '\r', '\u{1}', '\u{7f}', '/', 'é', '→', 'a', '0', ';', ' ',
     ];
     let len = rng.random_range(1..12usize);
     (0..len)
@@ -257,10 +258,15 @@ fn hostile_name(rng: &mut Rng) -> String {
         .collect()
 }
 
+/// Serializes the tests that mutate process-global telemetry state
+/// (`set_enabled` / `reset` / kernel probes); the default test harness
+/// runs them on concurrent threads otherwise.
+static TELEMETRY_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn jsonl_export_roundtrips_hostile_names() {
     use paqoc::telemetry::{self, json, FieldValue};
-    // Telemetry is process-global; no other test in this binary uses it.
+    let _global = TELEMETRY_LOCK.lock().unwrap();
     telemetry::set_enabled(true);
     for seed in 0..CASES {
         telemetry::reset();
@@ -300,6 +306,94 @@ fn jsonl_export_roundtrips_hostile_names() {
         json::parse(&snap.to_chrome_trace())
             .unwrap_or_else(|e| panic!("seed {seed}: chrome trace does not parse: {e}"));
     }
+    telemetry::set_enabled(false);
+    telemetry::reset();
+}
+
+#[test]
+fn collapsed_stacks_and_chrome_tracks_survive_hostile_kernel_names() {
+    use paqoc::telemetry::{self, json};
+    let _global = TELEMETRY_LOCK.lock().unwrap();
+    telemetry::set_enabled(true);
+    telemetry::set_kernel_probes(Some(true));
+    for seed in 0..CASES {
+        telemetry::reset();
+        let mut rng = Rng::seed_from_u64(0xF1A3 ^ seed);
+        let span_name = hostile_name(&mut rng);
+        // Kernel probes take `&'static str` names (production sites are
+        // literals); leaking the random ones is fine in a test.
+        let kernels: Vec<&'static str> = (0..3)
+            .map(|_| &*Box::leak(hostile_name(&mut rng).into_boxed_str()))
+            .collect();
+        {
+            let _s = telemetry::span(&span_name);
+            for (i, name) in kernels.iter().enumerate() {
+                let dim = 2 << i;
+                let _probe = telemetry::kernel_enter(name, dim);
+                telemetry::kernel_alloc(name, 1, (dim * dim) as u64);
+            }
+        }
+        let snap = telemetry::snapshot();
+
+        // Collapsed stacks: every line must be `frames value` where no
+        // frame contains the separators (`;`, whitespace) or control
+        // characters, whatever the span/kernel names threw at it.
+        for line in snap.to_collapsed_stacks().lines() {
+            let (stack, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("seed {seed}: no value in line {line:?}"));
+            value
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("seed {seed}: bad value in {line:?}: {e}"));
+            assert!(!stack.is_empty(), "seed {seed}: empty stack in {line:?}");
+            for frame in stack.split(';') {
+                assert!(!frame.is_empty(), "seed {seed}: empty frame in {line:?}");
+                assert!(
+                    !frame.chars().any(|c| c.is_whitespace() || c.is_control()),
+                    "seed {seed}: unsanitized frame {frame:?} in {line:?}"
+                );
+            }
+        }
+
+        // JSONL: the kernel records carry the raw names, escape-intact.
+        let mut jsonl_names: Vec<String> = Vec::new();
+        for line in snap.to_jsonl().lines() {
+            let v = json::parse(line)
+                .unwrap_or_else(|e| panic!("seed {seed}: line does not parse: {e}\n{line}"));
+            if v.get("type").and_then(json::Value::as_str) == Some("kernel_total") {
+                if let Some(name) = v.get("name").and_then(json::Value::as_str) {
+                    jsonl_names.push(name.to_string());
+                }
+            }
+        }
+        for name in &kernels {
+            assert!(
+                jsonl_names.iter().any(|n| n == name),
+                "seed {seed}: kernel {name:?} lost in JSONL export"
+            );
+        }
+
+        // Chrome: the export must parse and the kernel counter tracks
+        // must round-trip the raw names through their args.
+        let chrome = json::parse(&snap.to_chrome_trace())
+            .unwrap_or_else(|e| panic!("seed {seed}: chrome trace does not parse: {e}"));
+        let Some(json::Value::Arr(events)) = chrome.get("traceEvents") else {
+            panic!("seed {seed}: no traceEvents array");
+        };
+        let chrome_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(json::Value::as_str) == Some("kernel"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("kernel")))
+            .filter_map(json::Value::as_str)
+            .collect();
+        for name in &kernels {
+            assert!(
+                chrome_names.iter().any(|n| n == name),
+                "seed {seed}: kernel {name:?} lost in Chrome export"
+            );
+        }
+    }
+    telemetry::set_kernel_probes(None);
     telemetry::set_enabled(false);
     telemetry::reset();
 }
