@@ -55,6 +55,23 @@ pub enum CompileError {
     },
 }
 
+impl CompileError {
+    /// A stable machine-readable tag for this error, used as the typed
+    /// `kind` field when errors cross a serialization boundary (the
+    /// serve wire protocol). Tags are snake_case and never change once
+    /// shipped.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CompileError::Mapping(_) => "mapping",
+            CompileError::MalformedCircuit(_) => "malformed_circuit",
+            CompileError::PulseSource { .. } => "pulse_source",
+            CompileError::DeadlineExceeded { .. } => "deadline_exceeded",
+            CompileError::SourcePanic { .. } => "source_panic",
+            CompileError::EspUnsatisfiable { .. } => "esp_unsatisfiable",
+        }
+    }
+}
+
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -176,6 +193,24 @@ pub enum Degradation {
         /// `"requested"`).
         reason: String,
     },
+}
+
+impl Degradation {
+    /// A stable machine-readable tag for this degradation, used as the
+    /// typed `kind` field when degradations cross a serialization
+    /// boundary (the serve wire protocol). Tags are snake_case and
+    /// never change once shipped.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Degradation::MergeRolledBack { .. } => "merge_rolled_back",
+            Degradation::EstimatorFallback { .. } => "estimator_fallback",
+            Degradation::DeadlineHit { .. } => "deadline_hit",
+            Degradation::CostBudgetExhausted { .. } => "cost_budget_exhausted",
+            Degradation::SourcePanic { .. } => "source_panic",
+            Degradation::StoreUnavailable { .. } => "store_unavailable",
+            Degradation::StoreReadOnly { .. } => "store_read_only",
+        }
+    }
 }
 
 impl std::fmt::Display for Degradation {

@@ -31,7 +31,10 @@ mod latency;
 mod spec;
 mod topology;
 
-pub use faults::{FaultConfig, FaultCounts, FaultySource, STALL_CAP};
+pub use faults::{
+    ChaosAction, ConnChaos, ConnChaosCounts, FaultConfig, FaultCounts, FaultySource,
+    DRIBBLE_DELAY_CAP, STALL_CAP,
+};
 pub use hamiltonian::{transmon_xy_controls, ControlChannel, ControlSet, Device};
 pub use io_faults::{IoFaultCounts, IoFaultInjector};
 pub use latency::{validate_estimate, AnalyticModel, PulseEstimate, PulseGenError, PulseSource};

@@ -22,6 +22,9 @@
 //!   quarantine ([`executor`]).
 //! * [`parallel_map`] — order-preserving parallel map used by the
 //!   bench harness to compile the 17-benchmark suite concurrently.
+//! * [`FairQueue`] — bounded multi-tenant fair-share admission queue
+//!   with reject-not-buffer overload behaviour and a drain lifecycle,
+//!   the scheduling core of the resident service ([`fair_queue`]).
 //! * [`FlightRecorder`] — opt-in background metrics sampler
 //!   (`PAQOC_METRICS_MS`) snapshotting gauges and process CPU/RSS into
 //!   the event journal, strictly off the job-execution path
@@ -36,8 +39,11 @@
 
 pub mod executor;
 pub mod factory;
+pub mod fair_queue;
 pub mod recorder;
 pub mod shared_table;
+
+pub use fair_queue::{FairQueue, Pop, PushError, QueueConfig};
 
 pub use executor::{
     run_batch, stall_budget, BatchReport, ExecOptions, JobStatus, PulseJob, SkipReason,

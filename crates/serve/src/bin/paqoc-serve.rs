@@ -1,0 +1,161 @@
+//! The resident compilation daemon.
+//!
+//! Binds a TCP or unix socket, prints one `ready` JSON line on stdout
+//! (address, pid, store condition), serves until SIGTERM/SIGINT or a
+//! client `drain` request, then drains gracefully — answers or sheds
+//! everything admitted, syncs the pulse table to the store — prints a
+//! `drained` JSON line, and exits 0.
+//!
+//! ```text
+//! paqoc-serve [--tcp ADDR | --uds PATH] [--workers N]
+//!             [--queue-cap N] [--tenant-cap N] [--max-tenants N]
+//!             [--read-timeout-ms N] [--idle-timeout-ms N]
+//!             [--default-deadline-ms N] [--max-frame-bytes N]
+//!             [--pulse-db PATH] [--store-max-bytes N] [--read-only]
+//!             [--config m0|tuned|inf] [--chaos-stall-ms N]
+//! ```
+
+#![deny(unsafe_code)]
+
+use paqoc_device::FaultConfig;
+use paqoc_exec::QueueConfig;
+use paqoc_serve::{BindAddr, ConfigPreset, ServeOptions, Server};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    #![allow(unsafe_code)]
+    use std::sync::atomic::Ordering;
+
+    // Same values on every unix we target (Linux, macOS, BSDs).
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        super::TERMINATE.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGTERM and SIGINT to the `TERMINATE` flag.
+    pub(crate) fn install() {
+        // SAFETY: `signal` registers a handler that does nothing but
+        // store to a static atomic — no allocation, locking, or Rust
+        // runtime machinery runs in signal context.
+        let handler = on_signal as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    /// Non-unix fallback: no signal hook — drain via the `drain` op.
+    pub(crate) fn install() {}
+}
+
+fn parse_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut opts = ServeOptions::default();
+    let mut queue = QueueConfig {
+        per_tenant_cap: 32,
+        total_cap: 256,
+        max_tenants: 32,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--tcp" => opts.addr = BindAddr::Tcp(value(&mut i, flag)?),
+            #[cfg(unix)]
+            "--uds" => opts.addr = BindAddr::Uds(value(&mut i, flag)?.into()),
+            "--workers" => opts.workers = parse_num(&value(&mut i, flag)?, flag)?,
+            "--queue-cap" => queue.total_cap = parse_num(&value(&mut i, flag)?, flag)?,
+            "--tenant-cap" => queue.per_tenant_cap = parse_num(&value(&mut i, flag)?, flag)?,
+            "--max-tenants" => queue.max_tenants = parse_num(&value(&mut i, flag)?, flag)?,
+            "--read-timeout-ms" => {
+                opts.read_timeout = Duration::from_millis(parse_num(&value(&mut i, flag)?, flag)?)
+            }
+            "--idle-timeout-ms" => {
+                opts.idle_timeout = Duration::from_millis(parse_num(&value(&mut i, flag)?, flag)?)
+            }
+            "--default-deadline-ms" => {
+                opts.default_deadline = Some(Duration::from_millis(parse_num(
+                    &value(&mut i, flag)?,
+                    flag,
+                )?))
+            }
+            "--max-frame-bytes" => opts.max_frame_bytes = parse_num(&value(&mut i, flag)?, flag)?,
+            "--pulse-db" => opts.pulse_db = Some(value(&mut i, flag)?.into()),
+            "--store-max-bytes" => {
+                opts.store_options.max_bytes = Some(parse_num(&value(&mut i, flag)?, flag)?)
+            }
+            "--read-only" => opts.store_options.read_only = true,
+            "--config" => {
+                let name = value(&mut i, flag)?;
+                opts.preset =
+                    ConfigPreset::parse(&name).ok_or_else(|| format!("unknown config {name:?}"))?;
+            }
+            "--chaos-stall-ms" => {
+                let ms: u64 = parse_num(&value(&mut i, flag)?, flag)?;
+                opts.fault = Some(FaultConfig::stalling(Duration::from_millis(ms)));
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    opts.queue = queue;
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse::<T>()
+        .map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("paqoc-serve: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    sig::install();
+    let server = match Server::start(opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("paqoc-serve: bind failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let stats = server.stats();
+    println!(
+        "{{\"event\":\"ready\",\"addr\":{},\"pid\":{},\"store\":{}}}",
+        paqoc_telemetry::json::escape(server.local_addr()),
+        std::process::id(),
+        paqoc_telemetry::json::escape(&stats.store),
+    );
+    let summary = server.run_until(|| TERMINATE.load(Ordering::SeqCst));
+    println!(
+        "{{\"event\":\"drained\",\"completed\":{},\"shed\":{},\"rejected\":{},\"synced\":{},\"table_len\":{}}}",
+        summary.completed, summary.shed, summary.rejected, summary.synced, summary.table_len
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,814 @@
+//! The resident compilation daemon.
+//!
+//! One [`Server`] owns a listener (TCP or unix socket), a pool of
+//! connection threads, a [`FairQueue`] of admitted compile jobs, and a
+//! pool of compile workers sharing one [`SharedPulseTable`] — so every
+//! request benefits from every earlier request's pulses, and a
+//! persistent store attached at startup makes that reuse survive
+//! restarts.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! frame → parse → admit(FairQueue) ──reject──▶ overloaded/draining
+//!                      │
+//!                      ▼ (queued, deadline ticking)
+//!                 worker pop ──expired──▶ expired (shed)
+//!                      │     ──draining─▶ draining (shed)
+//!                      ▼
+//!              try_compile_batch(remaining budget)
+//!                      │
+//!                      ▼
+//!                ok / degraded / error
+//! ```
+//!
+//! Connection threads never compile and workers never touch sockets:
+//! each admitted job carries a channel back to its connection thread,
+//! which blocks on it (bounded by drain, which answers everything).
+//!
+//! ## Drain lifecycle
+//!
+//! [`Server::drain`] (SIGTERM in the binary, or a `drain` request):
+//! stop accepting, close the queue (new pushes answer `draining`),
+//! answer or shed everything already admitted, join the workers, sync
+//! the pulse table to the store, release connection threads, and return
+//! a [`DrainSummary`]. The binary exits 0 afterwards, and a restart
+//! warm-loads the store.
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Budget, CompileReply, ConfigPreset,
+    FrameError, Op, Request, Response, ServerStats, DEFAULT_MAX_FRAME_BYTES,
+};
+use paqoc_circuit::{parse_qasm, Circuit};
+use paqoc_core::{try_compile_batch, Degradation, PipelineOptions};
+use paqoc_device::{Device, FaultConfig};
+use paqoc_exec::{
+    AnalyticFactory, FairQueue, FaultyAnalyticFactory, Pop, PulseSourceFactory, PushError,
+    QueueConfig, SharedPulseTable,
+};
+use paqoc_store::{PulseStore, StoreOptions, StoreRole};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the daemon listens.
+#[derive(Clone, Debug)]
+pub enum BindAddr {
+    /// A TCP address (`"127.0.0.1:0"` picks a free port).
+    Tcp(String),
+    /// A unix-domain socket path (removed and re-created on bind).
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Listen address.
+    pub addr: BindAddr,
+    /// Compile workers (each runs one single-threaded pipeline).
+    pub workers: usize,
+    /// Admission-queue capacity limits.
+    pub queue: QueueConfig,
+    /// Hard cap on a frame's payload size.
+    pub max_frame_bytes: usize,
+    /// Budget for receiving one complete frame once its first byte
+    /// arrives — the slow-loris bound.
+    pub read_timeout: Duration,
+    /// Budget for writing one response frame.
+    pub write_timeout: Duration,
+    /// A connection with no traffic for this long is reaped.
+    pub idle_timeout: Duration,
+    /// Deadline applied to requests that do not carry one (`None`
+    /// leaves them unbounded).
+    pub default_deadline: Option<Duration>,
+    /// Persistent pulse store to attach (warm reuse across restarts).
+    pub pulse_db: Option<PathBuf>,
+    /// Store-handle tuning (eviction budget, forced read-only, faults).
+    pub store_options: StoreOptions,
+    /// Pipeline preset applied when requests do not choose one.
+    pub preset: ConfigPreset,
+    /// Pulse-source fault injection (chaos tests). `None` serves the
+    /// clean analytic source.
+    pub fault: Option<FaultConfig>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+            workers: 2,
+            queue: QueueConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(60),
+            default_deadline: None,
+            pulse_db: None,
+            store_options: StoreOptions::default(),
+            preset: ConfigPreset::M0,
+            fault: None,
+        }
+    }
+}
+
+/// What a completed drain did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrainSummary {
+    /// Admitted requests answered with a result or error.
+    pub completed: u64,
+    /// Admitted requests shed (expired or drain).
+    pub shed: u64,
+    /// Requests rejected at admission over the server's lifetime.
+    pub rejected: u64,
+    /// Pulse-table entries flushed to the store by the final sync.
+    pub synced: usize,
+    /// Entries in the pulse table at exit.
+    pub table_len: usize,
+}
+
+/// How often blocked loops re-check drain/stop flags. Short enough
+/// that drain completes promptly, long enough to stay off profiles.
+const TICK: Duration = Duration::from_millis(50);
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Conn {
+    fn configure(&self, read: Duration, write: Duration) -> std::io::Result<()> {
+        // Reads tick at TICK so the loop can observe stop flags and
+        // enforce idle/slow-loris budgets itself; writes get the full
+        // budget in one shot.
+        match self {
+            Conn::Tcp(s) => {
+                s.set_read_timeout(Some(read.min(TICK)))?;
+                s.set_write_timeout(Some(write))
+            }
+            #[cfg(unix)]
+            Conn::Uds(s) => {
+                s.set_read_timeout(Some(read.min(TICK)))?;
+                s.set_write_timeout(Some(write))
+            }
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Uds(s) => s.flush(),
+        }
+    }
+}
+
+/// One admitted compile job, queued between connection and worker.
+struct Job {
+    label: String,
+    circuit: Circuit,
+    preset: ConfigPreset,
+    deadline_ms: Option<u64>,
+    deadline_at: Option<Instant>,
+    enqueued: Instant,
+    resp: mpsc::Sender<Response>,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    overloaded: AtomicU64,
+    draining_rejects: AtomicU64,
+    bad_frames: AtomicU64,
+    active: AtomicU64,
+}
+
+struct Shared {
+    queue: FairQueue<Job>,
+    table: Arc<SharedPulseTable>,
+    device: Device,
+    factory: Arc<dyn PulseSourceFactory>,
+    opts: ServeOptions,
+    /// Server-level degradations (store read-only / unavailable),
+    /// appended to every compile reply so clients see them typed.
+    base_degradations: Vec<Degradation>,
+    store_state: &'static str,
+    counters: Counters,
+    /// Set by drain(): stop admitting.
+    draining: AtomicBool,
+    /// Set at the end of drain: connection threads exit.
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.counters.accepted.load(Ordering::SeqCst),
+            completed: self.counters.completed.load(Ordering::SeqCst),
+            shed: self.counters.shed.load(Ordering::SeqCst),
+            overloaded: self.counters.overloaded.load(Ordering::SeqCst),
+            draining_rejects: self.counters.draining_rejects.load(Ordering::SeqCst),
+            bad_frames: self.counters.bad_frames.load(Ordering::SeqCst),
+            queue_depth: self.queue.len() as u64,
+            active: self.counters.active.load(Ordering::SeqCst),
+            tenants: self.queue.tenant_count() as u64,
+            table_len: self.table.len() as u64,
+            draining: self.draining.load(Ordering::SeqCst),
+            store: self.store_state.to_string(),
+        }
+    }
+}
+
+/// A running daemon (see the module docs for the lifecycle).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: String,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds, attaches the store (if configured), and starts the
+    /// accept loop and worker pool.
+    pub fn start(opts: ServeOptions) -> std::io::Result<Server> {
+        let listener = match &opts.addr {
+            BindAddr::Tcp(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Listener::Tcp(l)
+            }
+            #[cfg(unix)]
+            BindAddr::Uds(path) => {
+                // A stale socket file from a previous run blocks bind.
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Listener::Uds(l)
+            }
+        };
+        let local_addr = match &listener {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "tcp:?".to_string()),
+            #[cfg(unix)]
+            Listener::Uds(_) => match &opts.addr {
+                #[cfg(unix)]
+                BindAddr::Uds(p) => p.display().to_string(),
+                _ => "uds:?".to_string(),
+            },
+        };
+
+        let device = Device::grid5x5();
+        let table = Arc::new(SharedPulseTable::new());
+        let mut base_degradations = Vec::new();
+        let mut store_state = "none";
+        if let Some(path) = &opts.pulse_db {
+            match PulseStore::open_with(path, device.fingerprint(), opts.store_options.clone()) {
+                Ok(store) => {
+                    if store.role() == StoreRole::ReadOnly {
+                        let reason = if opts.store_options.read_only {
+                            "requested"
+                        } else {
+                            "lock-held"
+                        };
+                        base_degradations.push(Degradation::StoreReadOnly {
+                            reason: reason.to_string(),
+                        });
+                        store_state = "read-only";
+                    } else {
+                        store_state = "writer";
+                    }
+                    table.attach_store(store);
+                }
+                Err(e) => {
+                    base_degradations.push(Degradation::StoreUnavailable {
+                        reason: e.to_string(),
+                    });
+                    store_state = "unavailable";
+                }
+            }
+        }
+        let factory: Arc<dyn PulseSourceFactory> = match opts.fault {
+            Some(cfg) => Arc::new(FaultyAnalyticFactory::new(cfg)),
+            None => Arc::new(AnalyticFactory),
+        };
+
+        let shared = Arc::new(Shared {
+            queue: FairQueue::new(opts.queue),
+            table,
+            device,
+            factory,
+            base_degradations,
+            store_state,
+            counters: Counters::default(),
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            opts,
+        });
+
+        let workers = (0..shared.opts.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("paqoc-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = shared.clone();
+            let conns = conns.clone();
+            std::thread::Builder::new()
+                .name("paqoc-serve-accept".to_string())
+                .spawn(move || accept_loop(listener, &shared, &conns))?
+        };
+
+        Ok(Server {
+            shared,
+            local_addr,
+            accept: Some(accept),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address: `host:port` for TCP, the socket path for UDS.
+    pub fn local_addr(&self) -> &str {
+        &self.local_addr
+    }
+
+    /// `true` once drain has begun (a `drain` request, or [`Server::drain`]).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current counters (what the `stats` op answers).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Blocks until `should_stop` answers true or a client sends
+    /// `drain`, then drains. The binary's main loop.
+    pub fn run_until(mut self, should_stop: impl Fn() -> bool) -> DrainSummary {
+        while !should_stop() && !self.shared.draining.load(Ordering::SeqCst) {
+            std::thread::sleep(TICK);
+        }
+        self.drain_inner()
+    }
+
+    /// Gracefully shuts the server down (see the module docs) and
+    /// returns what happened.
+    pub fn drain(mut self) -> DrainSummary {
+        self.drain_inner()
+    }
+
+    fn drain_inner(&mut self) -> DrainSummary {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::SeqCst);
+        shared.queue.drain();
+        paqoc_telemetry::event!("serve.drain_begin");
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        // Everything admitted has now been answered or shed; flush the
+        // write-behind so a restart warm-hits these pulses.
+        let synced = shared.table.sync().unwrap_or(0);
+        shared.stopping.store(true, Ordering::SeqCst);
+        let handles = {
+            let mut guard = lock(&self.conns);
+            guard.drain(..).collect::<Vec<_>>()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+        let summary = DrainSummary {
+            completed: shared.counters.completed.load(Ordering::SeqCst),
+            shed: shared.counters.shed.load(Ordering::SeqCst),
+            rejected: shared.counters.overloaded.load(Ordering::SeqCst)
+                + shared.counters.draining_rejects.load(Ordering::SeqCst),
+            synced,
+            table_len: shared.table.len(),
+        };
+        paqoc_telemetry::event!(
+            "serve.drain_done",
+            completed = summary.completed,
+            shed = summary.shed,
+            synced = summary.synced as u64
+        );
+        summary
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn accept_loop(listener: Listener, shared: &Arc<Shared>, conns: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        let conn = match &listener {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            #[cfg(unix)]
+            Listener::Uds(l) => l.accept().map(|(s, _)| Conn::Uds(s)),
+        };
+        match conn {
+            Ok(conn) => {
+                let shared = shared.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("paqoc-serve-conn".to_string())
+                    .spawn(move || conn_loop(conn, &shared));
+                match spawned {
+                    Ok(h) => lock(conns).push(h),
+                    Err(_) => paqoc_telemetry::counter("serve.spawn_failures", 1),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(TICK),
+            Err(_) => std::thread::sleep(TICK),
+        }
+    }
+    // Dropping the listener closes the socket; for UDS also remove the
+    // path so the next start binds cleanly even without our own unlink.
+    #[cfg(unix)]
+    if let BindAddr::Uds(path) = &shared.opts.addr {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Reads one frame under the connection's idle and slow-loris budgets.
+/// `Ok(None)` means the connection should close quietly (clean EOF,
+/// idle reap, slow-loris reap, or server stop).
+fn read_frame_governed(conn: &mut Conn, shared: &Shared) -> Result<Option<Vec<u8>>, FrameError> {
+    let idle_deadline = Instant::now() + shared.opts.idle_timeout;
+    // Phase 1: wait for the first byte (idle budget, stop-aware).
+    let mut first = [0u8; 1];
+    loop {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        match conn.read(&mut first) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= idle_deadline {
+                    paqoc_telemetry::counter("serve.idle_reaped", 1);
+                    return Ok(None);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    // Phase 2: the rest of the frame under the per-frame budget. A
+    // dribbling client gets until read_timeout in total, then is reaped.
+    let frame_deadline = Instant::now() + shared.opts.read_timeout;
+    let mut reader = GovernedReader {
+        conn,
+        first: Some(first[0]),
+        deadline: frame_deadline,
+    };
+    match read_frame(&mut reader, shared.opts.max_frame_bytes) {
+        Ok(None) => Ok(None),
+        Ok(Some(frame)) => Ok(Some(frame)),
+        Err(FrameError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            paqoc_telemetry::counter("serve.slow_loris_reaped", 1);
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Adapts a ticking socket to [`read_frame`]: retries short timeouts
+/// until `deadline`, then lets the timeout error through (which
+/// `read_frame_governed` maps to a quiet slow-loris reap).
+struct GovernedReader<'a> {
+    conn: &'a mut Conn,
+    first: Option<u8>,
+    deadline: Instant,
+}
+
+impl Read for GovernedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if let Some(b) = self.first.take() {
+            buf[0] = b;
+            return Ok(1);
+        }
+        loop {
+            match self.conn.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) && Instant::now() < self.deadline => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+fn conn_loop(mut conn: Conn, shared: &Arc<Shared>) {
+    if conn
+        .configure(shared.opts.read_timeout, shared.opts.write_timeout)
+        .is_err()
+    {
+        return;
+    }
+    paqoc_telemetry::counter("serve.connections", 1);
+    loop {
+        let frame = match read_frame_governed(&mut conn, shared) {
+            Ok(None) => return,
+            Ok(Some(frame)) => frame,
+            Err(e) => {
+                // Hostile or broken input: answer typed (best-effort)
+                // and close — one bad frame never takes a worker down.
+                shared.counters.bad_frames.fetch_add(1, Ordering::SeqCst);
+                paqoc_telemetry::counter("serve.bad_frames", 1);
+                let resp = Response::Error {
+                    kind: e.kind().to_string(),
+                    message: e.to_string(),
+                };
+                let _ = write_frame(
+                    &mut conn,
+                    &encode_response(0, &resp),
+                    shared.opts.max_frame_bytes,
+                );
+                return;
+            }
+        };
+        let req = match decode_request(&frame) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.counters.bad_frames.fetch_add(1, Ordering::SeqCst);
+                paqoc_telemetry::counter("serve.bad_frames", 1);
+                let resp = Response::Error {
+                    kind: e.kind().to_string(),
+                    message: e.to_string(),
+                };
+                // Malformed-but-framed requests get an answer and the
+                // connection stays open: the framing is intact.
+                if write_frame(
+                    &mut conn,
+                    &encode_response(0, &resp),
+                    shared.opts.max_frame_bytes,
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let id = req.id;
+        let resp = handle_request(req, shared);
+        if write_frame(
+            &mut conn,
+            &encode_response(id, &resp),
+            shared.opts.max_frame_bytes,
+        )
+        .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+    match req.op {
+        Op::Ping => Response::Pong {
+            draining: shared.draining.load(Ordering::SeqCst),
+        },
+        Op::Stats => Response::Stats(shared.stats()),
+        Op::Drain => {
+            // Flag only: the owning thread (Server::run_until / the
+            // test harness) observes is_draining and performs the
+            // actual drain, exactly like SIGTERM.
+            shared.draining.store(true, Ordering::SeqCst);
+            shared.queue.drain();
+            Response::Pong { draining: true }
+        }
+        Op::Compile => admit_compile(req, shared),
+    }
+}
+
+fn admit_compile(req: Request, shared: &Arc<Shared>) -> Response {
+    // Build the circuit before admission: a bad benchmark name or QASM
+    // never costs a queue slot.
+    let (label, circuit) = match (&req.benchmark, &req.qasm) {
+        (Some(name), _) => match paqoc_workloads::benchmark(name) {
+            Some(b) => (b.name.to_string(), (b.build)()),
+            None => {
+                return Response::Error {
+                    kind: "unknown_benchmark".to_string(),
+                    message: format!("no benchmark named {name:?}"),
+                }
+            }
+        },
+        (None, Some(qasm)) => match parse_qasm(qasm) {
+            Ok(c) => ("qasm".to_string(), c),
+            Err(e) => {
+                return Response::Error {
+                    kind: "bad_qasm".to_string(),
+                    message: e.to_string(),
+                }
+            }
+        },
+        (None, None) => {
+            return Response::Error {
+                kind: "bad_request".to_string(),
+                message: "compile needs a benchmark or qasm".to_string(),
+            }
+        }
+    };
+    let now = Instant::now();
+    let deadline = req
+        .deadline_ms
+        .map(Duration::from_millis)
+        .or(shared.opts.default_deadline);
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        label,
+        circuit,
+        preset: req.config,
+        deadline_ms: deadline.map(|d| d.as_millis() as u64),
+        deadline_at: deadline.map(|d| now + d),
+        enqueued: now,
+        resp: tx,
+    };
+    match shared.queue.push(&req.tenant, req.priority, job) {
+        Ok(_depth) => {
+            shared.counters.accepted.fetch_add(1, Ordering::SeqCst);
+            paqoc_telemetry::counter("serve.accepted", 1);
+            paqoc_telemetry::set_gauge("serve.queue_depth", shared.queue.len() as f64);
+            paqoc_telemetry::set_gauge("serve.tenants", shared.queue.tenant_count() as f64);
+            // Blocks until a worker answers. Drain guarantees every
+            // admitted job is answered or shed, so this always ends.
+            match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Error {
+                    kind: "internal".to_string(),
+                    message: "worker dropped the request".to_string(),
+                },
+            }
+        }
+        Err(PushError::Draining) => {
+            shared
+                .counters
+                .draining_rejects
+                .fetch_add(1, Ordering::SeqCst);
+            paqoc_telemetry::counter("serve.draining_rejects", 1);
+            Response::Draining
+        }
+        Err(e) => {
+            shared.counters.overloaded.fetch_add(1, Ordering::SeqCst);
+            paqoc_telemetry::counter("serve.overloaded", 1);
+            let (scope, depth, cap) = match e {
+                PushError::TenantFull { depth, cap } => ("tenant", depth, cap),
+                PushError::QueueFull { depth, cap } => ("queue", depth, cap),
+                PushError::TooManyTenants { tenants, cap } => ("tenants", tenants, cap),
+                PushError::Draining => unreachable!("handled above"),
+            };
+            Response::Overloaded {
+                scope: scope.to_string(),
+                depth: depth as u64,
+                cap: cap as u64,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        match shared.queue.pop(TICK) {
+            Pop::TimedOut => continue,
+            Pop::Drained => return,
+            Pop::Item(job) => {
+                paqoc_telemetry::set_gauge("serve.queue_depth", shared.queue.len() as f64);
+                let resp = serve_job(&job, shared);
+                let shed = matches!(resp, Response::Draining | Response::Expired { .. });
+                if shed {
+                    shared.counters.shed.fetch_add(1, Ordering::SeqCst);
+                    paqoc_telemetry::counter("serve.shed", 1);
+                } else {
+                    shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+                    paqoc_telemetry::counter("serve.completed", 1);
+                }
+                let _ = job.resp.send(resp);
+            }
+        }
+    }
+}
+
+fn serve_job(job: &Job, shared: &Arc<Shared>) -> Response {
+    let now = Instant::now();
+    let queue_ms = now.duration_since(job.enqueued).as_millis() as u64;
+    // During drain the backlog is shed, not compiled: admitted clients
+    // get a prompt typed answer and the daemon exits quickly.
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::Draining;
+    }
+    // Expired in the queue: shed before any compilation work.
+    if let (Some(at), Some(ms)) = (job.deadline_at, job.deadline_ms) {
+        if now >= at {
+            paqoc_telemetry::counter("serve.expired", 1);
+            return Response::Expired {
+                queue_ms,
+                deadline_ms: ms,
+            };
+        }
+    }
+    shared.counters.active.fetch_add(1, Ordering::SeqCst);
+    let remaining = job.deadline_at.map(|at| at.saturating_duration_since(now));
+    let mut opts = match job.preset {
+        ConfigPreset::M0 => PipelineOptions::m0(),
+        ConfigPreset::Tuned => PipelineOptions::m_tuned(),
+        ConfigPreset::Inf => PipelineOptions::m_inf(),
+    };
+    opts.threads = Some(1);
+    opts.shared_table = Some(shared.table.clone());
+    opts.deadline = remaining;
+    let started = Instant::now();
+    let result = try_compile_batch(&job.circuit, &shared.device, shared.factory.clone(), &opts);
+    let compile_ms = started.elapsed().as_millis() as u64;
+    shared.counters.active.fetch_sub(1, Ordering::SeqCst);
+    match result {
+        Ok(r) => {
+            let mut degradations = shared.base_degradations.clone();
+            degradations.extend(r.degradations);
+            Response::Ok(CompileReply {
+                benchmark: job.label.clone(),
+                latency_ns: r.latency_ns,
+                latency_dt: r.latency_dt,
+                esp: r.esp,
+                partial: r.partial,
+                pulses_generated: r.stats.pulses_generated as u64,
+                cache_hits: r.stats.cache_hits as u64,
+                store_hits: r.stats.store_hits as u64,
+                cost_units: r.stats.cost_units,
+                degradations,
+                queue_ms,
+                compile_ms,
+                budget: job.deadline_ms.map(|deadline_ms| Budget {
+                    deadline_ms,
+                    queue_ms,
+                    remaining_ms: remaining.map(|d| d.as_millis() as u64).unwrap_or(0),
+                }),
+            })
+        }
+        Err(e) => Response::Error {
+            kind: e.kind().to_string(),
+            message: e.to_string(),
+        },
+    }
+}

@@ -1,0 +1,180 @@
+//! Connection-chaos test: a seeded [`ConnChaos`] storm — mid-frame
+//! disconnects, garbage frames, slow-loris dribbles — hammers the
+//! daemon while well-behaved clients work through it. The daemon must
+//! never panic, never leak a queue slot or tenant entry, and keep the
+//! shared pulse table serving correct results throughout.
+
+use paqoc_device::{ChaosAction, ConnChaos, FaultConfig};
+use paqoc_exec::QueueConfig;
+use paqoc_serve::{
+    encode_request, read_frame, BindAddr, Client, Endpoint, Request, Response, ServeOptions,
+    Server, DEFAULT_MAX_FRAME_BYTES,
+};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Frames the request the way `write_frame` would, as one byte buffer
+/// the chaos planner can mangle.
+fn wire_bytes(req: &Request) -> Vec<u8> {
+    let payload = encode_request(req);
+    let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+    wire.extend_from_slice(&payload);
+    wire
+}
+
+/// Plays one planned chaos action against a fresh connection. Delivered
+/// and dribbled frames are complete, so the server's response is read
+/// back; mangled ones end with the connection dropped mid-stream.
+fn play(addr: &str, chaos: &mut ConnChaos, req: &Request) -> Option<Response> {
+    let wire = wire_bytes(req);
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    sock.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    match chaos.next_action(wire.len()) {
+        ChaosAction::Deliver => {
+            sock.write_all(&wire).expect("deliver");
+        }
+        ChaosAction::Truncate(n) => {
+            let _ = sock.write_all(&wire[..n]);
+            return None;
+        }
+        ChaosAction::Garbage(n) => {
+            let garbage = chaos.garbage_bytes(n);
+            let _ = sock.write_all(&garbage);
+            // The server answers typed or just closes; either way the
+            // storm must not hang on it.
+            let _ = read_frame(&mut sock, DEFAULT_MAX_FRAME_BYTES);
+            return None;
+        }
+        ChaosAction::Dribble { chunk, delay } => {
+            for piece in wire.chunks(chunk) {
+                sock.write_all(piece).expect("dribble piece");
+                sock.flush().ok();
+                std::thread::sleep(delay);
+            }
+        }
+        ChaosAction::Disconnect => return None,
+    }
+    let frame = read_frame(&mut sock, DEFAULT_MAX_FRAME_BYTES)
+        .expect("read response")
+        .expect("response frame");
+    let (_, resp) = paqoc_serve::decode_response(&frame).expect("decode response");
+    Some(resp)
+}
+
+#[test]
+fn chaos_storm_never_corrupts_the_daemon() {
+    const STORM_FRAMES: usize = 64;
+    const GOOD_CLIENTS: usize = 4;
+    const GOOD_REQUESTS: usize = 5;
+
+    let server = Server::start(ServeOptions {
+        addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+        workers: 2,
+        queue: QueueConfig {
+            per_tenant_cap: 8,
+            total_cap: 64,
+            max_tenants: 16,
+        },
+        // A tight per-frame budget so even a capped dribble exercises
+        // the governed reader, without slowing the storm down.
+        read_timeout: Duration::from_secs(2),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+    let endpoint = Endpoint::Tcp(addr.clone());
+
+    let chaos_counts = std::thread::scope(|scope| {
+        // The storm: one hostile connection per planned frame.
+        let storm = {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let mut chaos = ConnChaos::new(FaultConfig::conn_chaos(0xC4A05, 0.45));
+                for i in 0..STORM_FRAMES {
+                    let req = Request::compile(i as u64 + 1, "chaos", "mod5d2_64");
+                    if let Some(resp) = play(&addr, &mut chaos, &req) {
+                        // Complete frames must get a typed answer —
+                        // compile result or a typed rejection.
+                        assert!(
+                            matches!(
+                                resp,
+                                Response::Ok(_)
+                                    | Response::Overloaded { .. }
+                                    | Response::Error { .. }
+                            ),
+                            "unexpected storm response {resp:?}"
+                        );
+                    }
+                }
+                chaos.counts()
+            })
+        };
+        // Honest tenants keep working through the storm.
+        let good: Vec<_> = (0..GOOD_CLIENTS)
+            .map(|c| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    let mut client = Client::new(endpoint, Duration::from_secs(60));
+                    for r in 0..GOOD_REQUESTS {
+                        let id = (c * GOOD_REQUESTS + r) as u64 + 1000;
+                        let req = Request::compile(id, &format!("good-{c}"), "rd32_270");
+                        match client.call(&req).expect("good client transport") {
+                            Response::Ok(reply) => {
+                                assert!(reply.latency_dt > 0, "result must be real")
+                            }
+                            other => panic!("good client got {other:?}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in good {
+            h.join().expect("good client");
+        }
+        storm.join().expect("storm")
+    });
+
+    assert!(
+        chaos_counts.hostile() > 0,
+        "the storm must actually be hostile: {chaos_counts:?}"
+    );
+    assert!(
+        chaos_counts.garbage + chaos_counts.truncated > 0,
+        "seed must produce parse-breaking frames: {chaos_counts:?}"
+    );
+
+    // Quiesced: no leaked queue slots, tenant entries, or active jobs;
+    // every admitted request accounted for; the mangled frames counted.
+    let stats = server.stats();
+    assert_eq!(stats.queue_depth, 0, "no leaked queue slots");
+    assert_eq!(stats.active, 0, "no stuck workers");
+    assert_eq!(stats.tenants, 0, "no leaked tenant entries");
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.shed,
+        "every admitted request must be answered or shed: {stats:?}"
+    );
+    assert!(stats.bad_frames > 0, "garbage must be counted: {stats:?}");
+    assert!(stats.table_len > 0, "the pulse table must have entries");
+
+    // The table still serves correct results after the storm.
+    let mut client = Client::new(endpoint, Duration::from_secs(60));
+    match client
+        .call(&Request::compile(9999, "after", "mod5d2_64"))
+        .expect("post-storm call")
+    {
+        Response::Ok(reply) => assert!(
+            reply.cache_hits > 0,
+            "post-storm compile must hit the intact table: {reply:?}"
+        ),
+        other => panic!("post-storm compile got {other:?}"),
+    }
+
+    let summary = server.drain();
+    assert_eq!(
+        summary.completed + summary.shed,
+        stats.accepted + 1,
+        "drain must account for every admitted request"
+    );
+}

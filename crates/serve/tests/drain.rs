@@ -1,0 +1,218 @@
+//! Graceful-drain tests against the real `paqoc-serve` binary: SIGTERM
+//! with requests in flight must answer or shed everything typed, sync
+//! the pulse table to the store, and exit 0 — and a second start over
+//! the same store must warm-hit the persisted pulses.
+
+#![cfg(unix)]
+
+use paqoc_serve::{Client, Endpoint, Op, Request, Response};
+use paqoc_telemetry::json::{parse, Value};
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::Duration;
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paqoc-serve-drain-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// Starts the daemon and blocks until its `ready` line appears.
+fn spawn_daemon(args: &[&str]) -> (Child, BufReader<ChildStdout>, Value) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_paqoc-serve"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn paqoc-serve");
+    let mut lines = BufReader::new(child.stdout.take().expect("stdout"));
+    let mut line = String::new();
+    lines.read_line(&mut line).expect("ready line");
+    let ready = parse(line.trim()).expect("ready JSON");
+    assert_eq!(
+        ready.get("event").and_then(Value::as_str),
+        Some("ready"),
+        "first line must be the ready event: {line:?}"
+    );
+    (child, lines, ready)
+}
+
+/// Reads stdout until the `drained` line (the daemon's last words).
+fn read_drained(lines: &mut BufReader<ChildStdout>) -> Value {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if lines.read_line(&mut line).expect("read stdout") == 0 {
+            panic!("daemon exited without a drained line");
+        }
+        if let Ok(v) = parse(line.trim()) {
+            if v.get("event").and_then(Value::as_str) == Some("drained") {
+                return v;
+            }
+        }
+    }
+}
+
+/// A multi-group circuit with per-call distinct angles: several pulse
+/// generations per compile, each paying the daemon's injected stall.
+fn slow_qasm(salt: usize) -> String {
+    let mut q = String::from("OPENQASM 2.0;\nqreg q[2];\n");
+    for k in 0..6 {
+        q.push_str(&format!(
+            "rz({}) q[0];\ncx q[0],q[1];\n",
+            0.01 + salt as f64 * 0.101 + k as f64 * 0.013
+        ));
+    }
+    q
+}
+
+#[test]
+fn sigterm_drains_gracefully_and_restart_warm_hits() {
+    let dir = tmp_dir();
+    let db = dir.join("drain.pqps");
+    let sock = dir.join("drain.sock");
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(format!("{}.lock", db.display()));
+    let db_s = db.display().to_string();
+    let sock_s = sock.display().to_string();
+    let corpus = ["mod5d2_64", "rd32_270"];
+
+    // ---- First life: compile, then SIGTERM with requests in flight.
+    let (mut child, mut lines, ready) = spawn_daemon(&[
+        "--uds",
+        &sock_s,
+        "--pulse-db",
+        &db_s,
+        "--workers",
+        "1",
+        "--chaos-stall-ms",
+        "40",
+    ]);
+    assert_eq!(
+        ready.get("store").and_then(Value::as_str),
+        Some("writer"),
+        "the first daemon must own the store"
+    );
+    let endpoint = Endpoint::Uds(sock.clone());
+
+    // Seed the store with the fixed corpus (these complete).
+    let mut client = Client::new(endpoint.clone(), Duration::from_secs(120));
+    let mut cold_generated = 0u64;
+    for (i, name) in corpus.iter().enumerate() {
+        match client.call(&Request::compile(i as u64 + 1, "default", name)) {
+            Ok(Response::Ok(reply)) => {
+                assert_eq!(reply.store_hits, 0, "first life is cold");
+                cold_generated += reply.pulses_generated;
+            }
+            other => panic!("seeding {name} got {other:?}"),
+        }
+    }
+    assert!(cold_generated > 0, "seeding must generate pulses");
+
+    // Slow in-flight traffic, then SIGTERM while it is being served.
+    let pid = child.id().to_string();
+    let outcomes: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6usize)
+            .map(|i| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    let mut client = Client::new(endpoint, Duration::from_secs(120));
+                    let mut req = Request::compile(i as u64 + 100, "default", "unused");
+                    req.benchmark = None;
+                    req.qasm = Some(slow_qasm(i));
+                    client.call(&req).expect("in-flight request transport")
+                })
+            })
+            .collect();
+        // Let the first request reach a worker, then pull the plug.
+        std::thread::sleep(Duration::from_millis(100));
+        let killed = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .expect("kill");
+        assert!(killed.success(), "kill -TERM must succeed");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    // Every in-flight request was answered typed: finished compiles as
+    // ok, the shed backlog as draining. Nothing hung, nothing dropped.
+    let mut completed_in_flight = 0u64;
+    let mut drained_in_flight = 0u64;
+    for resp in &outcomes {
+        match resp {
+            Response::Ok(_) => completed_in_flight += 1,
+            Response::Draining => drained_in_flight += 1,
+            other => panic!("in-flight request got untyped {other:?}"),
+        }
+    }
+    assert!(
+        drained_in_flight > 0,
+        "SIGTERM mid-burst must shed part of the backlog: {outcomes:?}"
+    );
+
+    let drained = read_drained(&mut lines);
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+    let completed = drained
+        .get("completed")
+        .and_then(Value::as_num)
+        .unwrap_or(-1.0) as u64;
+    let shed = drained.get("shed").and_then(Value::as_num).unwrap_or(-1.0) as u64;
+    assert_eq!(
+        completed,
+        corpus.len() as u64 + completed_in_flight,
+        "drained line must account for every completed request"
+    );
+    assert_eq!(shed, drained_in_flight, "drained line must count the shed");
+    assert!(
+        drained
+            .get("table_len")
+            .and_then(Value::as_num)
+            .unwrap_or(0.0)
+            > 0.0,
+        "the pulse table must have entries at exit"
+    );
+    assert!(
+        std::fs::metadata(&db).expect("store file must exist").len() > 0,
+        "the synced store must be on disk"
+    );
+    assert!(!sock.exists(), "the daemon must remove its socket file");
+
+    // ---- Second life: same store, no faults. The corpus must be
+    // served from persisted pulses, and a client-sent drain op must
+    // shut the daemon down as cleanly as SIGTERM did.
+    let (mut child2, mut lines2, ready2) =
+        spawn_daemon(&["--uds", &sock_s, "--pulse-db", &db_s, "--workers", "1"]);
+    assert_eq!(ready2.get("store").and_then(Value::as_str), Some("writer"));
+    let mut client = Client::new(endpoint, Duration::from_secs(120));
+    for (i, name) in corpus.iter().enumerate() {
+        match client.call(&Request::compile(i as u64 + 1, "default", name)) {
+            Ok(Response::Ok(reply)) => {
+                assert!(
+                    reply.store_hits > 0,
+                    "warm restart must hit the store for {name}: {reply:?}"
+                );
+                assert_eq!(
+                    reply.pulses_generated, 0,
+                    "warm restart must not regenerate {name}: {reply:?}"
+                );
+            }
+            other => panic!("warm {name} got {other:?}"),
+        }
+    }
+    match client.call(&Request::control(50, Op::Drain)) {
+        Ok(Response::Pong { draining }) => assert!(draining, "drain op must take effect"),
+        other => panic!("drain op got {other:?}"),
+    }
+    let drained2 = read_drained(&mut lines2);
+    let status2 = child2.wait().expect("wait");
+    assert!(status2.success(), "client-driven drain must exit 0");
+    assert_eq!(
+        drained2.get("completed").and_then(Value::as_num),
+        Some(corpus.len() as f64),
+        "second life completed exactly the warm corpus"
+    );
+}

@@ -1,0 +1,300 @@
+//! Deterministic overload and warm-restart tests (the acceptance
+//! criterion of the serve subsystem): with queue capacity K and N ≫ K
+//! concurrent requests, exactly the admitted requests complete and the
+//! rest get typed `overloaded` responses — no hangs, no panics — and a
+//! warm second run over the same corpus serves at least the cold run's
+//! pulse-table hit rate via the persistent store.
+
+use paqoc_device::FaultConfig;
+use paqoc_exec::QueueConfig;
+use paqoc_serve::{BindAddr, Client, Endpoint, Op, Request, Response, ServeOptions, Server};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paqoc-serve-overload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+/// A tiny per-request-unique circuit: the distinct rz angle gives every
+/// request its own pulse keys, so the shared table cannot absorb the
+/// load and the stall fault keeps each compile slow.
+fn unique_qasm(i: usize) -> String {
+    format!(
+        "OPENQASM 2.0;\nqreg q[2];\nrz({}) q[0];\ncx q[0],q[1];\n",
+        0.001 + i as f64 * 0.0137
+    )
+}
+
+#[test]
+fn overload_sheds_typed_and_accounts_exactly() {
+    const N: usize = 32;
+    let server = Server::start(ServeOptions {
+        addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+        workers: 1,
+        queue: QueueConfig {
+            per_tenant_cap: 4,
+            total_cap: 4,
+            max_tenants: 8,
+        },
+        // Every pulse generation stalls, so compiles are slow relative
+        // to the admission burst and the queue genuinely fills.
+        fault: Some(FaultConfig::stalling(Duration::from_millis(30))),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+
+    let outcomes: Vec<Response> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let endpoint = endpoint.clone();
+                scope.spawn(move || {
+                    let mut client = Client::new(endpoint, Duration::from_secs(120));
+                    let mut req = Request::compile(i as u64 + 1, "tenant-a", "unused");
+                    req.benchmark = None;
+                    req.qasm = Some(unique_qasm(i));
+                    client.call(&req).expect("transport must not fail")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    let answered = outcomes
+        .iter()
+        .filter(|r| matches!(r, Response::Ok(_)))
+        .count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|r| matches!(r, Response::Overloaded { .. }))
+        .count();
+    assert_eq!(
+        answered + overloaded,
+        N,
+        "every request must get a compile result or a typed overloaded \
+         response, got {outcomes:?}"
+    );
+    assert!(
+        overloaded > 0,
+        "with cap 4 and {N} concurrent requests some must be shed"
+    );
+    assert!(answered > 0, "admitted requests must complete");
+
+    // The server's own accounting must match what clients observed.
+    let stats = server.stats();
+    assert_eq!(stats.accepted, answered as u64, "accepted == completed");
+    assert_eq!(stats.completed, answered as u64);
+    assert_eq!(stats.overloaded, overloaded as u64);
+    assert_eq!(stats.shed, 0, "nothing expired or drained in this run");
+    assert_eq!(stats.queue_depth, 0, "queue must be fully served");
+    assert_eq!(stats.active, 0);
+
+    let summary = server.drain();
+    assert_eq!(summary.completed, answered as u64);
+}
+
+#[test]
+fn per_tenant_cap_cannot_starve_other_tenants() {
+    let server = Server::start(ServeOptions {
+        addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+        workers: 1,
+        queue: QueueConfig {
+            per_tenant_cap: 2,
+            total_cap: 64,
+            max_tenants: 8,
+        },
+        fault: Some(FaultConfig::stalling(Duration::from_millis(20))),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+
+    // Tenant "hog" floods; tenant "meek" sends one request. The hog's
+    // surplus is rejected at ITS cap while the meek tenant is admitted.
+    let outcomes: Vec<(String, Response)> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..12usize {
+            let endpoint = endpoint.clone();
+            handles.push(scope.spawn(move || {
+                let tenant = if i == 11 { "meek" } else { "hog" };
+                let mut client = Client::new(endpoint, Duration::from_secs(60));
+                let mut req = Request::compile(i as u64 + 1, tenant, "unused");
+                req.benchmark = None;
+                req.qasm = Some(unique_qasm(100 + i));
+                (
+                    tenant.to_string(),
+                    client.call(&req).expect("transport must not fail"),
+                )
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+
+    let meek_answered = outcomes
+        .iter()
+        .any(|(t, r)| t == "meek" && matches!(r, Response::Ok(_)));
+    assert!(meek_answered, "the meek tenant must not be starved");
+    let hog_overloaded = outcomes
+        .iter()
+        .filter(|(t, r)| t == "hog" && matches!(r, Response::Overloaded { .. }))
+        .count();
+    assert!(
+        hog_overloaded > 0,
+        "the hog must hit its per-tenant cap: {outcomes:?}"
+    );
+    server.drain();
+}
+
+#[test]
+fn warm_restart_serves_store_hits() {
+    let db = tmp("warm.pqps");
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(format!("{}.lock", db.display()));
+    let corpus = ["mod5d2_64", "rd32_270", "bv"];
+
+    // Cold run: everything is generated, nothing can come from a store.
+    let cold = run_corpus(&db, &corpus);
+    assert!(
+        cold.iter().all(|r| r.store_hits == 0),
+        "cold run cannot have store hits"
+    );
+    let cold_generated: u64 = cold.iter().map(|r| r.pulses_generated).sum();
+    assert!(cold_generated > 0, "cold run must generate pulses");
+    let cold_hits: u64 = cold.iter().map(|r| r.cache_hits).sum();
+    let cold_rate = cold_hits as f64 / (cold_hits + cold_generated) as f64;
+
+    // Warm run: a fresh server over the same store must serve the whole
+    // corpus from persisted pulses.
+    let warm = run_corpus(&db, &corpus);
+    let warm_generated: u64 = warm.iter().map(|r| r.pulses_generated).sum();
+    let warm_store_hits: u64 = warm.iter().map(|r| r.store_hits).sum();
+    let warm_hits: u64 = warm.iter().map(|r| r.cache_hits).sum();
+    let warm_rate = warm_hits as f64 / (warm_hits + warm_generated).max(1) as f64;
+    assert_eq!(
+        warm_generated, 0,
+        "warm run must be fully served from the store"
+    );
+    assert!(warm_store_hits > 0, "warm hits must come from the store");
+    assert!(
+        warm_rate >= cold_rate,
+        "warm hit rate {warm_rate:.3} must be at least cold {cold_rate:.3}"
+    );
+}
+
+/// Starts a store-backed server, compiles `corpus` sequentially, drains
+/// (syncing the table), and returns the per-request replies.
+fn run_corpus(db: &Path, corpus: &[&str]) -> Vec<paqoc_serve::CompileReply> {
+    let server = Server::start(ServeOptions {
+        addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+        workers: 2,
+        pulse_db: Some(db.to_path_buf()),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    assert_eq!(server.stats().store, "writer", "server must own the store");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+    let mut client = Client::new(endpoint, Duration::from_secs(120));
+    let mut replies = Vec::new();
+    for (i, name) in corpus.iter().enumerate() {
+        let req = Request::compile(i as u64 + 1, "default", name);
+        match client.call(&req).expect("call") {
+            Response::Ok(reply) => replies.push(reply),
+            other => panic!("expected a compile result for {name}, got {other:?}"),
+        }
+    }
+    // Ping exercises the inline control path while we are here.
+    match client.call(&Request::control(99, Op::Ping)).expect("ping") {
+        Response::Pong { draining } => assert!(!draining),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    let summary = server.drain();
+    assert_eq!(summary.completed, corpus.len() as u64);
+    replies
+}
+
+/// A head-of-line circuit with many distinct rz groups: every group is
+/// a separate pulse generation, each paying the injected stall, so the
+/// compile reliably outlasts the short-deadline requests queued behind.
+fn slow_qasm() -> String {
+    let mut q = String::from("OPENQASM 2.0;\nqreg q[2];\n");
+    for k in 0..8 {
+        q.push_str(&format!(
+            "rz({}) q[0];\ncx q[0],q[1];\n",
+            0.31 + k as f64 * 0.077
+        ));
+    }
+    q
+}
+
+#[test]
+fn expired_in_queue_requests_are_shed_before_compilation() {
+    let server = Server::start(ServeOptions {
+        addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+        workers: 1,
+        queue: QueueConfig {
+            per_tenant_cap: 16,
+            total_cap: 16,
+            max_tenants: 4,
+        },
+        fault: Some(FaultConfig::stalling(Duration::from_millis(50))),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+
+    // A slow head-of-line request with no deadline, then short-deadline
+    // requests that will expire while it compiles.
+    let outcomes: Vec<Response> = std::thread::scope(|scope| {
+        let head = {
+            let endpoint = endpoint.clone();
+            scope.spawn(move || {
+                let mut client = Client::new(endpoint, Duration::from_secs(60));
+                let mut req = Request::compile(1, "default", "unused");
+                req.benchmark = None;
+                req.qasm = Some(slow_qasm());
+                client.call(&req).expect("head request")
+            })
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        let mut handles = Vec::new();
+        for i in 0..3usize {
+            let endpoint = endpoint.clone();
+            handles.push(scope.spawn(move || {
+                let mut client = Client::new(endpoint, Duration::from_secs(60));
+                let mut req = Request::compile(i as u64 + 2, "default", "unused");
+                req.benchmark = None;
+                req.qasm = Some(unique_qasm(2000 + i));
+                req.deadline_ms = Some(1);
+                client.call(&req).expect("deadline request")
+            }));
+        }
+        let mut all = vec![head.join().expect("join")];
+        all.extend(handles.into_iter().map(|h| h.join().expect("join")));
+        all
+    });
+
+    assert!(
+        matches!(outcomes[0], Response::Ok(_)),
+        "the undeadlined head request must complete: {:?}",
+        outcomes[0]
+    );
+    let expired = outcomes[1..]
+        .iter()
+        .filter(|r| matches!(r, Response::Expired { .. }))
+        .count();
+    assert!(
+        expired > 0,
+        "1 ms deadlines behind a stalled head must expire in queue: {outcomes:?}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.shed as usize, expired, "sheds must be accounted");
+    server.drain();
+}

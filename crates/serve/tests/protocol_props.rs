@@ -1,0 +1,176 @@
+//! Seeded property tests for the wire protocol: truncated, oversized
+//! and hostile frames must always produce typed errors — never a panic
+//! and never an allocation proportional to an attacker-advertised
+//! length.
+
+use paqoc_math::Rng;
+use paqoc_serve::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    FrameError, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+
+const CASES: usize = 200;
+
+fn sample_request(rng: &mut Rng, id: u64) -> Request {
+    let mut req = Request::compile(id, "tenant-a", "mod5d2_64");
+    if rng.random::<f64>() < 0.5 {
+        req.deadline_ms = Some(rng.random_range(1u64..=10_000));
+    }
+    req.priority = rng.random::<f64>() * 10.0 - 5.0;
+    req
+}
+
+/// Round-trip baseline: what `encode_request` emits, `read_frame` +
+/// `decode_request` must accept byte-for-byte.
+#[test]
+fn roundtrip_survives_random_requests() {
+    let mut rng = Rng::seed_from_u64(0xF4A3);
+    for i in 0..CASES {
+        let req = sample_request(&mut rng, i as u64 + 1);
+        let frame = encode_request(&req);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame, DEFAULT_MAX_FRAME_BYTES).expect("write");
+        let got = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES)
+            .expect("read")
+            .expect("some");
+        let back = decode_request(&got).expect("decode");
+        assert_eq!(back.id, req.id);
+        assert_eq!(back.tenant, req.tenant);
+        assert_eq!(back.deadline_ms, req.deadline_ms);
+    }
+}
+
+/// Truncation at EVERY byte offset of a valid wire frame: offset 0 is a
+/// clean EOF (`Ok(None)`), anything else is a typed error or — for a
+/// cut inside the payload — a `Truncated` with an honest byte count.
+#[test]
+fn truncation_at_every_offset_is_typed() {
+    let req = Request::compile(7, "tenant-a", "mod5d2_64");
+    let frame = encode_request(&req);
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &frame, DEFAULT_MAX_FRAME_BYTES).expect("write");
+    for cut in 0..wire.len() {
+        let result = read_frame(&mut &wire[..cut], DEFAULT_MAX_FRAME_BYTES);
+        match (cut, result) {
+            (0, Ok(None)) => {}
+            (0, other) => panic!("empty stream must be clean EOF, got {other:?}"),
+            (_, Err(FrameError::Truncated { missing })) => {
+                assert!(missing > 0, "cut {cut}: missing must be positive");
+                if cut >= 4 {
+                    assert_eq!(
+                        missing,
+                        wire.len() - cut,
+                        "cut {cut}: missing bytes must be honest"
+                    );
+                }
+            }
+            (_, other) => panic!("cut {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// Advertised lengths far beyond the cap — including the 4 GiB prefix —
+/// are rejected from the 4-byte header alone, before any payload
+/// allocation. A hostile prefix must never OOM the server.
+#[test]
+fn oversized_advertisements_rejected_before_allocation() {
+    let hostile: [u32; 6] = [
+        DEFAULT_MAX_FRAME_BYTES as u32 + 1,
+        1 << 24,
+        1 << 30,
+        u32::MAX / 2,
+        u32::MAX - 1,
+        u32::MAX, // the advertised-4GiB frame from the issue
+    ];
+    for advertised in hostile {
+        let mut wire = advertised.to_be_bytes().to_vec();
+        // A few payload bytes so rejection cannot be confused with EOF.
+        wire.extend_from_slice(b"{}");
+        match read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES) {
+            Err(FrameError::TooLarge {
+                advertised: got,
+                cap,
+            }) => {
+                assert_eq!(got, advertised as u64);
+                assert_eq!(cap, DEFAULT_MAX_FRAME_BYTES as u64);
+            }
+            other => panic!("advertised {advertised}: expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+/// Random garbage payloads under a correct length prefix: the frame
+/// layer accepts them (framing is intact) and the JSON layer rejects
+/// them with a typed error. No input may panic.
+#[test]
+fn garbage_payloads_decode_to_typed_errors() {
+    let mut rng = Rng::seed_from_u64(0xBADF00D);
+    for _ in 0..CASES {
+        let len = rng.random_range(1usize..=256);
+        let payload: Vec<u8> = (0..len)
+            .map(|_| rng.random_range(0u32..=255) as u8)
+            .collect();
+        let mut wire = (payload.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let framed = read_frame(&mut wire.as_slice(), DEFAULT_MAX_FRAME_BYTES)
+            .expect("framing is intact")
+            .expect("some");
+        assert_eq!(framed, payload);
+        // Almost surely not valid JSON; when it happens to parse, it is
+        // still not a valid request object.
+        if let Ok(req) = decode_request(&framed) {
+            panic!("garbage decoded to a request: {req:?}");
+        }
+    }
+}
+
+/// Hostile tenant names — empty, oversized, control characters, path
+/// separators, non-ASCII — are rejected at decode, before admission.
+#[test]
+fn hostile_tenant_names_rejected_at_decode() {
+    let hostile = [
+        String::new(),
+        " ".to_string(),
+        "a/b".to_string(),
+        "a\0b".to_string(),
+        "a\nb".to_string(),
+        "日本".to_string(),
+        "x".repeat(65),
+        "x".repeat(10_000),
+    ];
+    for name in hostile {
+        let mut req = Request::compile(1, "ok", "mod5d2_64");
+        req.tenant = name.clone();
+        let frame = encode_request(&req);
+        match decode_request(&frame) {
+            Err(FrameError::BadRequest(_)) => {}
+            other => panic!("tenant {name:?}: expected BadRequest, got {other:?}"),
+        }
+    }
+    // The boundary case stays valid.
+    let mut req = Request::compile(1, "ok", "mod5d2_64");
+    req.tenant = "x".repeat(64);
+    let frame = encode_request(&req);
+    assert!(decode_request(&frame).is_ok(), "64-char tenant is legal");
+}
+
+/// Responses survive the same random-mutation treatment: flipping any
+/// single byte of an encoded response never panics the decoder.
+#[test]
+fn response_decoder_survives_single_byte_mutations() {
+    let mut rng = Rng::seed_from_u64(0x5EED);
+    let resp = Response::Overloaded {
+        scope: "queue".to_string(),
+        depth: 4,
+        cap: 4,
+    };
+    let frame = encode_response(42, &resp);
+    for _ in 0..CASES {
+        let mut mutated = frame.clone();
+        let at = rng.random_range(0usize..=mutated.len() - 1);
+        mutated[at] ^= 1 << rng.random_range(0u32..=7);
+        // Either it still decodes (the flip hit insignificant
+        // whitespace or a value) or it fails typed — never a panic.
+        let _ = decode_response(&mutated);
+    }
+}

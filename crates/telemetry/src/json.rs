@@ -48,6 +48,80 @@ impl Value {
             _ => None,
         }
     }
+
+    /// This value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes this value as a compact JSON document. The inverse of
+    /// [`parse`] for everything the exporter emits: integers up to 2⁵³
+    /// print without a fraction, other finite numbers use Rust's
+    /// shortest round-trip `f64` formatting, and non-finite numbers
+    /// (which JSON cannot represent) serialize as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    /// Appends this value to `out` as compact JSON (see
+    /// [`Value::to_json`]).
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => write_number(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a finite number compactly: integer-valued `f64`s within the
+/// exact range print without a fraction; non-finite values become
+/// `null`.
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
 }
 
 /// Appends `s` to `out` as a JSON string literal (with quotes).
@@ -340,6 +414,38 @@ mod tests {
     fn negative_and_fractional_numbers() {
         assert_eq!(parse("-2.5"), Ok(Value::Num(-2.5)));
         assert_eq!(parse("0.125"), Ok(Value::Num(0.125)));
+    }
+
+    #[test]
+    fn to_json_round_trips_through_parse() {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "name".to_string(),
+            Value::Str("a\"b\\c\nd\u{1}é".to_string()),
+        );
+        obj.insert("count".to_string(), Value::Num(42.0));
+        obj.insert("frac".to_string(), Value::Num(-2.5));
+        obj.insert("ok".to_string(), Value::Bool(true));
+        obj.insert("none".to_string(), Value::Null);
+        obj.insert(
+            "arr".to_string(),
+            Value::Arr(vec![Value::Num(1.0), Value::Str("x".to_string())]),
+        );
+        let v = Value::Obj(obj);
+        assert_eq!(parse(&v.to_json()), Ok(v));
+    }
+
+    #[test]
+    fn to_json_prints_integers_without_fractions() {
+        assert_eq!(Value::Num(42.0).to_json(), "42");
+        assert_eq!(Value::Num(-7.0).to_json(), "-7");
+        assert_eq!(Value::Num(0.5).to_json(), "0.5");
+    }
+
+    #[test]
+    fn to_json_maps_non_finite_numbers_to_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
     }
 
     #[test]

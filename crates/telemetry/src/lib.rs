@@ -308,7 +308,11 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn record(&mut self, v: f64) {
+    /// Records one observation. This is what [`observe`] calls on the
+    /// global store; it is public so callers holding their own
+    /// `Histogram` (per-thread latency sketches in the load generator)
+    /// can feed it directly and [`Histogram::merge`] the results.
+    pub fn record(&mut self, v: f64) {
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);

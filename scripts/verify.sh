@@ -81,6 +81,34 @@ cargo run --release -p paqoc-bench --bin report -- flame \
 grep -q "mathkit.matmul" target/verify_flame.txt
 echo "kernel trace smoke OK"
 
+echo "== paqoc-serve smoke: UDS daemon, replay load, shed + drain gates =="
+# A resident daemon on a unix socket with a deliberately tiny queue and
+# an injected per-pulse stall: the replay must see real answers AND real
+# sheds, p99 must stay sane, SIGTERM must drain to exit 0, and the
+# synced store must pass the paqoc-store verifier. The root release
+# build does not build dependency-crate binaries, so build them here.
+cargo build --release -p paqoc-serve
+SERVE_SOCK="target/verify_serve.sock"
+SERVE_DB="target/verify_serve_store.db"
+SERVE_LOG="target/verify_serve.log"
+rm -f "$SERVE_SOCK" "$SERVE_DB" "$SERVE_DB.lock"
+./target/release/paqoc-serve \
+    --uds "$SERVE_SOCK" --pulse-db "$SERVE_DB" --workers 2 \
+    --queue-cap 2 --tenant-cap 2 --chaos-stall-ms 10 > "$SERVE_LOG" &
+SERVE_PID=$!
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do [ -S "$SERVE_SOCK" ] && break; sleep 0.1; done
+[ -S "$SERVE_SOCK" ]
+./target/release/paqoc-load "unix:$SERVE_SOCK" replay \
+    --requests 48 --concurrency 8 --tenants 3 \
+    --expect-answers --expect-sheds --max-p99-ms 60000
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+grep -q '"event":"drained"' "$SERVE_LOG"
+cargo run --release -p paqoc-store --bin paqoc-store -- verify "$SERVE_DB"
+echo "serve smoke OK"
+
 echo "== cargo clippy -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 

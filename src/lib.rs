@@ -32,7 +32,13 @@
 //!   read-through, and the per-job-seeded source factories that make
 //!   `threads = 1` and `threads = N` bit-identical (knob:
 //!   `PAQOC_THREADS` / `PipelineOptions::threads`, entry:
-//!   [`core::try_compile_batch`]).
+//!   [`core::try_compile_batch`]);
+//! * [`serve`] — the fault-tolerant resident compilation service: the
+//!   `paqoc-serve` daemon (per-tenant admission control, deadline
+//!   propagation, overload shedding, graceful SIGTERM drain, warm
+//!   store-backed restarts) and the `paqoc-load` client/load-generator
+//!   speaking a length-prefixed JSON protocol over TCP or unix
+//!   sockets.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +68,7 @@ pub use paqoc_grape as grape;
 pub use paqoc_mapping as mapping;
 pub use paqoc_math as math;
 pub use paqoc_mining as mining;
+pub use paqoc_serve as serve;
 pub use paqoc_store as store;
 pub use paqoc_telemetry as telemetry;
 pub use paqoc_workloads as workloads;
