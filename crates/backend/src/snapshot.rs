@@ -1,0 +1,212 @@
+//! Calibration-snapshot files.
+//!
+//! A snapshot is a JSON document (the `paqoc-cal-1` schema) carrying
+//! one record per qubit and one per coupler, as exported from a device
+//! characterization run:
+//!
+//! ```json
+//! {
+//!   "schema": "paqoc-cal-1",
+//!   "backend": "heavy-hex",
+//!   "qubits":   [{"q": 0, "frequency_ghz": 5.01, "anharmonicity_ghz": -0.33,
+//!                 "t1_us": 112.4, "t2_us": 84.1, "drive_scale": 0.97}, …],
+//!   "couplers": [{"a": 0, "b": 1, "scale": 0.95}, …]
+//! }
+//! ```
+//!
+//! Parsing is strict: an unknown schema tag, a missing field, an
+//! out-of-range qubit index or a non-finite number is an error, never a
+//! default — a half-read calibration silently blessing the wrong
+//! amplitude limit is exactly the failure mode the namespaced
+//! fingerprints exist to prevent.
+
+use paqoc_device::{DeviceTuning, QubitCal};
+use paqoc_telemetry::json::{parse, Value};
+
+/// Why a calibration snapshot was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CalError {
+    /// Human-readable reason, with enough context to find the record.
+    pub message: String,
+}
+
+impl std::fmt::Display for CalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "calibration snapshot rejected: {}", self.message)
+    }
+}
+
+impl std::error::Error for CalError {}
+
+fn err(message: impl Into<String>) -> CalError {
+    CalError {
+        message: message.into(),
+    }
+}
+
+fn finite(v: &Value, field: &str, ctx: &str) -> Result<f64, CalError> {
+    let n = v
+        .get(field)
+        .and_then(Value::as_num)
+        .ok_or_else(|| err(format!("{ctx}: missing numeric field {field:?}")))?;
+    if !n.is_finite() {
+        return Err(err(format!("{ctx}: field {field:?} is not finite")));
+    }
+    Ok(n)
+}
+
+fn index(v: &Value, field: &str, ctx: &str, num_qubits: usize) -> Result<usize, CalError> {
+    let n = finite(v, field, ctx)?;
+    if n < 0.0 || n.fract() != 0.0 || n >= num_qubits as f64 {
+        return Err(err(format!(
+            "{ctx}: field {field:?} = {n} is not a qubit index below {num_qubits}"
+        )));
+    }
+    Ok(n as usize)
+}
+
+/// Parses a `paqoc-cal-1` snapshot into a [`DeviceTuning`] for a device
+/// with `num_qubits` qubits.
+///
+/// # Errors
+///
+/// Returns [`CalError`] on malformed JSON, a wrong/missing `schema`
+/// tag, missing or non-finite fields, duplicate or out-of-range qubit
+/// indices, or a qubit list that does not cover `0..num_qubits`.
+pub fn parse_snapshot(text: &str, num_qubits: usize) -> Result<DeviceTuning, CalError> {
+    let doc = parse(text).map_err(|e| err(format!("invalid JSON: {e}")))?;
+    let schema = doc
+        .get("schema")
+        .and_then(Value::as_str)
+        .ok_or_else(|| err("missing \"schema\" tag"))?;
+    if schema != "paqoc-cal-1" {
+        return Err(err(format!("unsupported schema {schema:?}")));
+    }
+
+    let qubit_records = doc
+        .get("qubits")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("missing \"qubits\" array"))?;
+    let mut qubits = vec![None; num_qubits];
+    for rec in qubit_records {
+        let q = index(rec, "q", "qubit record", num_qubits)?;
+        if qubits[q].is_some() {
+            return Err(err(format!("duplicate record for qubit {q}")));
+        }
+        let ctx = format!("qubit {q}");
+        qubits[q] = Some(QubitCal {
+            frequency_ghz: finite(rec, "frequency_ghz", &ctx)?,
+            anharmonicity_ghz: finite(rec, "anharmonicity_ghz", &ctx)?,
+            t1_us: finite(rec, "t1_us", &ctx)?,
+            t2_us: finite(rec, "t2_us", &ctx)?,
+            drive_scale: finite(rec, "drive_scale", &ctx)?,
+        });
+    }
+    let qubits: Vec<QubitCal> = qubits
+        .into_iter()
+        .enumerate()
+        .map(|(q, cal)| cal.ok_or_else(|| err(format!("no record for qubit {q}"))))
+        .collect::<Result<_, _>>()?;
+
+    let mut tuning = DeviceTuning {
+        qubits,
+        coupler_scale: Default::default(),
+    };
+    let couplers = doc
+        .get("couplers")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| err("missing \"couplers\" array"))?;
+    for rec in couplers {
+        let a = index(rec, "a", "coupler record", num_qubits)?;
+        let b = index(rec, "b", "coupler record", num_qubits)?;
+        if a == b {
+            return Err(err(format!("coupler ({a},{b}) is a self-loop")));
+        }
+        let ctx = format!("coupler ({a},{b})");
+        let scale = finite(rec, "scale", &ctx)?;
+        let key = (a.min(b), a.max(b));
+        if tuning.coupler_scale.insert(key, scale).is_some() {
+            return Err(err(format!("duplicate record for coupler ({a},{b})")));
+        }
+    }
+    Ok(tuning)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = r#"{
+        "schema": "paqoc-cal-1",
+        "qubits": [
+            {"q": 0, "frequency_ghz": 5.0, "anharmonicity_ghz": -0.33,
+             "t1_us": 100.0, "t2_us": 80.0, "drive_scale": 0.9},
+            {"q": 1, "frequency_ghz": 5.1, "anharmonicity_ghz": -0.32,
+             "t1_us": 90.0, "t2_us": 70.0, "drive_scale": 1.05}
+        ],
+        "couplers": [{"a": 1, "b": 0, "scale": 0.88}]
+    }"#;
+
+    #[test]
+    fn valid_snapshot_parses_and_normalizes_couplers() {
+        let t = parse_snapshot(OK, 2).expect("parse");
+        assert_eq!(t.qubit(0).drive_scale, 0.9);
+        assert_eq!(t.qubit(1).frequency_ghz, 5.1);
+        assert_eq!(t.coupler(0, 1), 0.88, "endpoints normalized");
+    }
+
+    #[test]
+    fn missing_qubit_record_is_an_error() {
+        let e = parse_snapshot(OK, 3).expect_err("qubit 2 uncovered");
+        assert!(e.message.contains("no record for qubit 2"), "{e}");
+    }
+
+    #[test]
+    fn strictness_rejects_bad_documents() {
+        for (text, what) in [
+            ("not json", "invalid JSON"),
+            (r#"{"qubits": [], "couplers": []}"#, "schema"),
+            (
+                r#"{"schema": "paqoc-cal-2", "qubits": [], "couplers": []}"#,
+                "unsupported schema",
+            ),
+            (
+                r#"{"schema": "paqoc-cal-1", "couplers": []}"#,
+                "\"qubits\" array",
+            ),
+        ] {
+            let e = parse_snapshot(text, 0).expect_err(what);
+            assert!(e.message.contains(what), "{what}: {e}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_duplicate_records_are_errors() {
+        let oob = r#"{"schema": "paqoc-cal-1",
+            "qubits": [{"q": 7, "frequency_ghz": 5.0, "anharmonicity_ghz": -0.3,
+                        "t1_us": 1.0, "t2_us": 1.0, "drive_scale": 1.0}],
+            "couplers": []}"#;
+        assert!(parse_snapshot(oob, 2).is_err());
+        let dup = r#"{"schema": "paqoc-cal-1",
+            "qubits": [
+              {"q": 0, "frequency_ghz": 5.0, "anharmonicity_ghz": -0.3,
+               "t1_us": 1.0, "t2_us": 1.0, "drive_scale": 1.0},
+              {"q": 0, "frequency_ghz": 5.0, "anharmonicity_ghz": -0.3,
+               "t1_us": 1.0, "t2_us": 1.0, "drive_scale": 1.0}],
+            "couplers": []}"#;
+        let e = parse_snapshot(dup, 1).expect_err("dup");
+        assert!(e.message.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn non_finite_fields_are_errors() {
+        // The JSON dialect has no NaN literal, but a huge exponent
+        // overflows to infinity — strictness must still catch it.
+        let inf = r#"{"schema": "paqoc-cal-1",
+            "qubits": [{"q": 0, "frequency_ghz": 1e999, "anharmonicity_ghz": -0.3,
+                        "t1_us": 1.0, "t2_us": 1.0, "drive_scale": 1.0}],
+            "couplers": []}"#;
+        let e = parse_snapshot(inf, 1).expect_err("inf");
+        assert!(e.message.contains("not finite"), "{e}");
+    }
+}

@@ -7,14 +7,19 @@
 //! tables.
 //!
 //! Usage: `bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH]
-//! [--pulse-db PATH] [--store-max-bytes N] [--expect-warm] [--threads N]
-//! [--stable-dump PATH] [--min-speedup X]`
+//! [--backend NAME] [--pulse-db PATH] [--store-max-bytes N] [--expect-warm]
+//! [--threads N] [--stable-dump PATH] [--min-speedup X]`
 //!
 //! * `--quick`    — 3-benchmark subset (CI smoke; same schema).
 //! * `--check`    — after writing, parse the file back with the in-tree
 //!   JSON parser and assert every schema key is present (exit 1 if not).
 //! * `--config`   — pipeline configuration (default `minf`, the paper's
 //!   cheapest-compile mode).
+//! * `--backend`  — device backend (a `paqoc-backend` registry name;
+//!   default `transmon-grid`). Benchmarks that need more qubits than
+//!   the backend has are skipped with a notice. The name lands in the
+//!   top-level `backend` column so `report compare` can refuse
+//!   cross-backend baselines.
 //! * `--out`      — output path (default `BENCH_pipeline.json`).
 //! * `--pulse-db` — persistent pulse store path. All concurrent
 //!   compilations pool one store-backed [`SharedPulseTable`] (the log is
@@ -48,7 +53,6 @@
 //!   concurrency overlap) reaches X. Only meaningful with enough cores.
 
 use paqoc_core::{try_compile_batch, CompilationResult, PipelineOptions};
-use paqoc_device::Device;
 use paqoc_exec::{
     effective_threads, parallel_map, AnalyticFactory, PulseSourceFactory, SharedPulseTable,
 };
@@ -70,7 +74,12 @@ use std::time::Instant;
 /// to nanoseconds spent there during the compile (kernel-probe
 /// attribution). Empty when probes are compiled out or disarmed;
 /// omitted from `--stable-dump`; `report compare` treats it as soft.
-const SCHEMA_VERSION: u64 = 5;
+/// v6: added top-level `backend` (the registry name the suite compiled
+/// against; `--backend` selects it, default `transmon-grid`). `report
+/// compare` hard-fails on cross-backend baselines. Files older than v6
+/// are implicitly `transmon-grid`. Not in `--stable-dump` (whose byte
+/// identity across thread counts is the point).
+const SCHEMA_VERSION: u64 = 6;
 
 /// The `--quick` subset: the three fastest Table-I benchmarks, spanning
 /// a Toffoli network, an adder and an oracle family.
@@ -99,9 +108,10 @@ const BENCHMARK_KEYS: [&str; 18] = [
 ];
 
 /// Keys the top-level object must carry (asserted by `--check`).
-const TOP_KEYS: [&str; 10] = [
+const TOP_KEYS: [&str; 11] = [
     "schema_version",
     "config",
+    "backend",
     "quick",
     "threads",
     "benchmarks",
@@ -220,9 +230,10 @@ fn main() {
     let mut threads_flag: Option<usize> = None;
     let mut stable_dump: Option<String> = None;
     let mut min_speedup: Option<f64> = None;
+    let mut backend_name = "transmon-grid".to_string();
     let usage = "usage: bench [--quick] [--check] [--config m0|tuned|minf] [--out PATH] \
-                 [--pulse-db PATH] [--store-max-bytes N] [--expect-warm] [--threads N] \
-                 [--stable-dump PATH] [--min-speedup X]";
+                 [--backend NAME] [--pulse-db PATH] [--store-max-bytes N] [--expect-warm] \
+                 [--threads N] [--stable-dump PATH] [--min-speedup X]";
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -230,6 +241,13 @@ fn main() {
             "--check" => check = true,
             "--config" => config = args.next().unwrap_or_default(),
             "--out" => out_path = args.next().unwrap_or_default(),
+            "--backend" => match args.next() {
+                Some(n) if !n.is_empty() => backend_name = n,
+                _ => {
+                    eprintln!("--backend requires a name argument");
+                    std::process::exit(2);
+                }
+            },
             "--pulse-db" => match args.next() {
                 Some(p) if !p.is_empty() => pulse_db = Some(std::path::PathBuf::from(p)),
                 _ => {
@@ -308,10 +326,30 @@ fn main() {
         .as_ref()
         .map(|shared| shared.start_maintenance(std::time::Duration::from_millis(200)));
 
-    let device = Device::grid5x5();
+    let backend = match paqoc_backend::resolve(&backend_name) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            std::process::exit(2);
+        }
+    };
+    let device = backend.device();
     let benches: Vec<_> = all_benchmarks()
         .into_iter()
         .filter(|b| !quick || QUICK_SUBSET.contains(&b.name))
+        .filter(|b| {
+            // Smaller backends (tunable-coupler has 16 qubits) cannot
+            // host the whole Table-I corpus; skip what does not fit,
+            // loudly, so a shrunken suite is never mistaken for a run.
+            let fits = (b.build)().num_qubits() <= device.topology().num_qubits();
+            if !fits {
+                println!(
+                    "bench: {:<14} skipped (needs more qubits than {backend_name} has)",
+                    b.name
+                );
+            }
+            fits
+        })
         .collect();
     let started = Instant::now();
     let results: Vec<(&'static str, Result<CompilationResult, String>)> =
@@ -375,9 +413,10 @@ fn main() {
     let mut doc = String::new();
     let _ = write!(
         doc,
-        "{{\"schema_version\":{SCHEMA_VERSION},\"config\":{},\"quick\":{quick},\
-         \"threads\":{threads},\"benchmarks\":[",
-        json::escape(&format!("paqoc({config})"))
+        "{{\"schema_version\":{SCHEMA_VERSION},\"config\":{},\"backend\":{},\
+         \"quick\":{quick},\"threads\":{threads},\"benchmarks\":[",
+        json::escape(&format!("paqoc({config})")),
+        json::escape(&backend_name)
     );
     doc.push_str(&rows.join(","));
     doc.push_str("],\"total_wall_seconds\":");

@@ -50,7 +50,7 @@ use std::collections::BTreeMap;
 
 /// Newest `BENCH_pipeline.json` schema this tool understands (matches
 /// `SCHEMA_VERSION` in the bench binary).
-const MAX_BENCH_SCHEMA: u64 = 5;
+const MAX_BENCH_SCHEMA: u64 = 6;
 
 /// Relative tolerance for deterministic float columns: analytic pulses
 /// are a pure function of the input, so anything past rounding noise is
@@ -682,6 +682,25 @@ fn cmd_compare(current_path: &str, baseline_path: &str, counts_only: bool, wall_
             "report: schema_version mismatch ({:?} vs {:?}) — regenerate the baseline",
             schema(&current),
             schema(&baseline)
+        );
+        return 1;
+    }
+    // A baseline from a different device backend is not a perf
+    // regression signal — every count and latency legitimately differs.
+    // Hard-fail so a stale baseline cannot masquerade as a regression.
+    // Pre-v6 files carry no `backend` key and are implicitly the
+    // transmon grid.
+    let backend = |d: &Value| {
+        d.get("backend")
+            .and_then(Value::as_str)
+            .unwrap_or("transmon-grid")
+            .to_string()
+    };
+    let (cur_backend, base_backend) = (backend(&current), backend(&baseline));
+    if cur_backend != base_backend {
+        eprintln!(
+            "report: cross-backend comparison refused: {current_path} is {cur_backend:?} but \
+             {baseline_path} is {base_backend:?} — regenerate the baseline on the same backend"
         );
         return 1;
     }

@@ -53,6 +53,16 @@ pub enum CompileError {
         /// ESP floor that was required.
         required: f64,
     },
+    /// `PipelineOptions::backend` named a backend, but the device the
+    /// compilation was handed belongs to a different one. Compiling
+    /// anyway would file the pulses under the wrong store namespace, so
+    /// this fails fast instead.
+    BackendMismatch {
+        /// Backend the options requested.
+        requested: String,
+        /// Backend the device actually belongs to.
+        actual: String,
+    },
 }
 
 impl CompileError {
@@ -68,6 +78,7 @@ impl CompileError {
             CompileError::DeadlineExceeded { .. } => "deadline_exceeded",
             CompileError::SourcePanic { .. } => "source_panic",
             CompileError::EspUnsatisfiable { .. } => "esp_unsatisfiable",
+            CompileError::BackendMismatch { .. } => "backend_mismatch",
         }
     }
 }
@@ -96,6 +107,10 @@ impl std::fmt::Display for CompileError {
             CompileError::EspUnsatisfiable { achieved, required } => write!(
                 f,
                 "achievable ESP {achieved:.6} is below the required floor {required:.6}"
+            ),
+            CompileError::BackendMismatch { requested, actual } => write!(
+                f,
+                "options request backend {requested:?} but the device belongs to {actual:?}"
             ),
         }
     }

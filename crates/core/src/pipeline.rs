@@ -87,6 +87,13 @@ pub struct PipelineOptions {
     /// single persistent-store handle. `None` gives each compile its
     /// own fresh table. Ignored by the sequential [`try_compile`].
     pub shared_table: Option<Arc<SharedPulseTable>>,
+    /// Expected backend of the target device (a `paqoc-backend`
+    /// registry name). When set, compilation fails fast with
+    /// [`CompileError::BackendMismatch`] unless it equals
+    /// `device.backend_name()` — the guard that keeps a multi-backend
+    /// caller (serve, bench) from filing pulses under the wrong store
+    /// namespace. `None` skips the check.
+    pub backend: Option<String>,
 }
 
 impl Default for PipelineOptions {
@@ -108,6 +115,7 @@ impl Default for PipelineOptions {
             store_options: paqoc_store::StoreOptions::default(),
             threads: None,
             shared_table: None,
+            backend: None,
         }
     }
 }
@@ -304,6 +312,15 @@ fn compile_inner(
     batch: Option<(BatchContext, Arc<SharedPulseTable>)>,
 ) -> Result<CompilationResult, CompileError> {
     let start = Instant::now();
+    if let Some(requested) = &opts.backend {
+        let actual = device.backend_name();
+        if requested != actual {
+            return Err(CompileError::BackendMismatch {
+                requested: requested.clone(),
+                actual: actual.to_string(),
+            });
+        }
+    }
     if opts.trace {
         paqoc_telemetry::set_enabled(true);
     }
@@ -862,6 +879,27 @@ mod tests {
             r.stats.store_hits > 0,
             "a read-only handle must still serve the warm pass's pulses"
         );
+    }
+
+    #[test]
+    fn backend_mismatch_fails_fast_with_a_typed_error() {
+        let device = Device::grid5x5();
+        let opts = PipelineOptions {
+            backend: Some("heavy-hex".to_string()),
+            ..PipelineOptions::m0()
+        };
+        let mut source = AnalyticModel::new();
+        let err = try_compile(&qaoa_like(), &device, &mut source, &opts)
+            .expect_err("grid device cannot satisfy a heavy-hex request");
+        assert_eq!(err.kind(), "backend_mismatch");
+        assert!(err.to_string().contains("heavy-hex"), "{err}");
+        assert!(err.to_string().contains("transmon-grid"), "{err}");
+        // The matching name compiles normally.
+        let ok = PipelineOptions {
+            backend: Some("transmon-grid".to_string()),
+            ..PipelineOptions::m0()
+        };
+        assert!(try_compile(&qaoa_like(), &device, &mut source, &ok).is_ok());
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Backend-namespaced device fingerprints.
+//!
+//! The original fingerprint (PR 4) was a raw FNV-1a hash of topology +
+//! [`crate::HardwareSpec`]: perfect for cache safety, opaque for
+//! operations. A multi-backend store needs more: `paqoc-store inspect`
+//! should say *which backend* and *which calibration snapshot* a file
+//! belongs to, and a calibration drift should rotate the namespace so
+//! stale pulses are invalidated instead of served.
+//!
+//! Calibrated backends therefore pack structure into the 64 bits:
+//!
+//! ```text
+//! 63      56 55  52 51            36 35                      0
+//! +--------+------+----------------+-------------------------+
+//! | 0xB5   | ns   | cal_id (16 b)  | folded device hash (36b) |
+//! +--------+------+----------------+-------------------------+
+//! ```
+//!
+//! * Bits 63..56 — the [`NAMESPACE_MAGIC`] tag. Legacy fingerprints are
+//!   raw hashes; the paper-grid device hashes to `0x91…`, so the tag
+//!   byte cleanly separates the two populations in practice. (A legacy
+//!   hash *could* collide with the tag — the composite cache keys stay
+//!   fingerprint-prefixed, so a collision can relax store-file
+//!   cohabitation but can never cross-serve a pulse.)
+//! * Bits 55..52 — the backend namespace id (see [`namespace_name`]).
+//! * Bits 51..36 — a 16-bit digest of the calibration snapshot. A
+//!   drifted snapshot changes `cal_id`, which changes the fingerprint,
+//!   which rotates every composite cache key: old entries become
+//!   unreachable and age out by LFU instead of being served.
+//! * Bits 35..0 — the full device hash (topology + spec + calibration)
+//!   folded to 36 bits, preserving cache-safety entropy.
+//!
+//! Untagged devices ([`crate::Device::new`] and friends) keep the raw
+//! 64-bit hash bit-for-bit — the paper grid's stores, benches and dumps
+//! are unchanged by this scheme existing.
+
+/// Tag byte (bits 63..56) marking a backend-namespaced fingerprint.
+pub const NAMESPACE_MAGIC: u8 = 0xB5;
+
+/// Namespace id of the IBM-style heavy-hex backend.
+pub const NS_HEAVY_HEX: u8 = 1;
+/// Namespace id of the tunable-coupler backend.
+pub const NS_TUNABLE_COUPLER: u8 = 2;
+
+/// What a 64-bit device fingerprint decodes to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FingerprintKind {
+    /// A raw FNV-1a hash (the paper grid and every untagged device).
+    Legacy,
+    /// A backend-namespaced fingerprint.
+    Namespaced {
+        /// Backend namespace id (bits 55..52).
+        ns_id: u8,
+        /// Calibration-snapshot digest (bits 51..36).
+        cal_id: u16,
+    },
+}
+
+/// Folds a 64-bit hash into the 36-bit payload field.
+fn fold36(h: u64) -> u64 {
+    (h ^ (h >> 36)) & 0xF_FFFF_FFFF
+}
+
+/// Packs a namespaced fingerprint. `ns_id` must fit in 4 bits.
+///
+/// # Panics
+///
+/// Panics if `ns_id >= 16`.
+pub fn encode_namespaced(ns_id: u8, cal_id: u16, device_hash: u64) -> u64 {
+    assert!(ns_id < 16, "namespace id {ns_id} does not fit in 4 bits");
+    ((NAMESPACE_MAGIC as u64) << 56)
+        | (((ns_id & 0xF) as u64) << 52)
+        | ((cal_id as u64) << 36)
+        | fold36(device_hash)
+}
+
+/// Decodes a fingerprint into its kind.
+pub fn decode_fingerprint(fp: u64) -> FingerprintKind {
+    if (fp >> 56) as u8 == NAMESPACE_MAGIC {
+        FingerprintKind::Namespaced {
+            ns_id: ((fp >> 52) & 0xF) as u8,
+            cal_id: ((fp >> 36) & 0xFFFF) as u16,
+        }
+    } else {
+        FingerprintKind::Legacy
+    }
+}
+
+/// `true` when the fingerprint carries the namespace tag.
+pub fn is_namespaced(fp: u64) -> bool {
+    matches!(decode_fingerprint(fp), FingerprintKind::Namespaced { .. })
+}
+
+/// Human name of a backend namespace id, for CLI/inspect output.
+pub fn namespace_name(ns_id: u8) -> Option<&'static str> {
+    match ns_id {
+        NS_HEAVY_HEX => Some("heavy-hex"),
+        NS_TUNABLE_COUPLER => Some("tunable-coupler"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_namespace_and_cal_id() {
+        let fp = encode_namespaced(NS_HEAVY_HEX, 0xBEEF, 0x0123_4567_89AB_CDEF);
+        assert_eq!(
+            decode_fingerprint(fp),
+            FingerprintKind::Namespaced {
+                ns_id: NS_HEAVY_HEX,
+                cal_id: 0xBEEF
+            }
+        );
+        assert!(is_namespaced(fp));
+    }
+
+    #[test]
+    fn legacy_fingerprints_decode_as_legacy() {
+        // The paper grid hashes to 0x91… — not the namespace tag.
+        for fp in [0u64, 0x9182_8249_684c_0a3e, u64::MAX >> 8] {
+            assert_eq!(decode_fingerprint(fp), FingerprintKind::Legacy, "{fp:#x}");
+            assert!(!is_namespaced(fp));
+        }
+    }
+
+    #[test]
+    fn cal_id_change_rotates_the_fingerprint() {
+        let a = encode_namespaced(NS_HEAVY_HEX, 1, 0xABCD);
+        let b = encode_namespaced(NS_HEAVY_HEX, 2, 0xABCD);
+        assert_ne!(a, b);
+        // Namespace and payload survive either way.
+        assert!(is_namespaced(a) && is_namespaced(b));
+    }
+
+    #[test]
+    fn namespace_registry_names_the_known_backends() {
+        assert_eq!(namespace_name(NS_HEAVY_HEX), Some("heavy-hex"));
+        assert_eq!(namespace_name(NS_TUNABLE_COUPLER), Some("tunable-coupler"));
+        assert_eq!(namespace_name(0), None);
+        assert_eq!(namespace_name(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_namespace_id_panics() {
+        encode_namespaced(16, 0, 0);
+    }
+}

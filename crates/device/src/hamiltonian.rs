@@ -5,8 +5,10 @@
 //! set is `{σx/2, σy/2}` per qubit plus `(σx⊗σx + σy⊗σy)/2` per coupler,
 //! with the paper's amplitude limits. GRAPE optimizes the `α_k(t)`.
 
+use crate::fingerprint::encode_namespaced;
 use crate::spec::HardwareSpec;
 use crate::topology::Topology;
+use crate::tuning::{BackendTag, DeviceTuning};
 use paqoc_math::{Matrix, C64};
 
 /// One controllable term `α(t)·H` of the device Hamiltonian.
@@ -130,6 +132,13 @@ pub struct Device {
     /// the pulse table asks for it on every hot-path key build, and
     /// re-hashing the full edge list there is measurable.
     fingerprint: u64,
+    /// Per-qubit / per-coupler calibration overlay. `None` means every
+    /// per-site query answers the spec-level value exactly (the legacy
+    /// bit-identical path).
+    tuning: Option<DeviceTuning>,
+    /// Identity of the backend that built this device; `None` for
+    /// devices built directly from topology + spec (the paper grid).
+    tag: Option<BackendTag>,
 }
 
 fn compute_fingerprint(topology: &Topology, spec: &HardwareSpec) -> u64 {
@@ -167,6 +176,42 @@ impl Device {
             topology,
             spec,
             fingerprint,
+            tuning: None,
+            tag: None,
+        }
+    }
+
+    /// Creates a calibrated device owned by a named backend.
+    ///
+    /// The fingerprint becomes backend-namespaced (see
+    /// [`crate::fingerprint`]): the namespace id and the snapshot's
+    /// 16-bit digest are packed into the top bits, and the payload folds
+    /// the topology + spec + calibration hash. Any drifted calibration
+    /// field rotates the fingerprint — and with it every composite
+    /// cache/store key — so stale pulses are never served.
+    pub fn with_tuning(
+        topology: Topology,
+        spec: HardwareSpec,
+        tuning: DeviceTuning,
+        backend_name: &str,
+        ns_id: u8,
+    ) -> Self {
+        let base = compute_fingerprint(&topology, &spec);
+        // Fold the calibration into the device hash so two snapshots
+        // with equal cal_id digests still differ in the payload bits.
+        let device_hash = base ^ tuning.content_hash().rotate_left(17);
+        let cal_id = tuning.cal_id();
+        let fingerprint = encode_namespaced(ns_id, cal_id, device_hash);
+        Device {
+            topology,
+            spec,
+            fingerprint,
+            tuning: Some(tuning),
+            tag: Some(BackendTag {
+                name: backend_name.to_string(),
+                ns_id,
+                cal_id,
+            }),
         }
     }
 
@@ -207,18 +252,94 @@ impl Device {
         self.fingerprint
     }
 
+    /// The calibration overlay, when this device carries one.
+    pub fn tuning(&self) -> Option<&DeviceTuning> {
+        self.tuning.as_ref()
+    }
+
+    /// The backend identity tag, when this device was built by a
+    /// registered backend.
+    pub fn tag(&self) -> Option<&BackendTag> {
+        self.tag.as_ref()
+    }
+
+    /// Name of the backend that owns this device. Untagged devices —
+    /// [`Device::new`], [`Device::grid5x5`], [`Device::line`] — answer
+    /// `"transmon-grid"`, the paper's platform.
+    pub fn backend_name(&self) -> &str {
+        match &self.tag {
+            Some(tag) => &tag.name,
+            None => "transmon-grid",
+        }
+    }
+
+    /// Single-qubit drive limit of qubit `q`, GHz. Equals
+    /// `spec().single_qubit_limit()` exactly on untuned devices.
+    pub fn single_qubit_limit_for(&self, q: usize) -> f64 {
+        match &self.tuning {
+            None => self.spec.single_qubit_limit(),
+            Some(t) => self.spec.single_qubit_limit() * t.qubit(q).drive_scale,
+        }
+    }
+
+    /// Coupler amplitude limit between `a` and `b`, GHz. Equals
+    /// `spec().mu_max` exactly on untuned devices.
+    pub fn coupler_limit(&self, a: usize, b: usize) -> f64 {
+        match &self.tuning {
+            None => self.spec.mu_max,
+            Some(t) => self.spec.mu_max * t.coupler(a, b),
+        }
+    }
+
+    /// Maximum angular rotation rate of qubit `q`'s drive, rad/ns.
+    /// Delegates to `spec().single_qubit_rate()` on untuned devices so
+    /// the legacy arithmetic is reproduced bit-for-bit.
+    pub fn single_qubit_rate_for(&self, q: usize) -> f64 {
+        match &self.tuning {
+            None => self.spec.single_qubit_rate(),
+            Some(_) => 2.0 * std::f64::consts::PI * self.single_qubit_limit_for(q),
+        }
+    }
+
+    /// Maximum nonlocal-content rate of the coupler between `a` and
+    /// `b`, rad/ns. Delegates to `spec().coupler_rate()` on untuned
+    /// devices so the legacy arithmetic is reproduced bit-for-bit.
+    pub fn coupler_rate_between(&self, a: usize, b: usize) -> f64 {
+        match &self.tuning {
+            None => self.spec.coupler_rate(),
+            Some(_) => 2.0 * std::f64::consts::PI * self.coupler_limit(a, b),
+        }
+    }
+
     /// Builds the control set for a group of *physical* qubits, relabeled
     /// to local indices `0..k` in the order given. Couplers are included
-    /// for every topology edge internal to the group.
+    /// for every topology edge internal to the group. On a calibrated
+    /// device each channel's `max_amp` carries its qubit's / coupler's
+    /// own limit; untuned devices take the legacy path untouched.
     pub fn controls_for(&self, qubits: &[usize]) -> ControlSet {
         let local = |q: usize| qubits.iter().position(|&p| p == q).expect("internal");
-        let edges: Vec<(usize, usize)> = self
-            .topology
-            .induced_edges(qubits)
-            .into_iter()
-            .map(|(a, b)| (local(a), local(b)))
+        let physical_edges = self.topology.induced_edges(qubits);
+        let edges: Vec<(usize, usize)> = physical_edges
+            .iter()
+            .map(|&(a, b)| (local(a), local(b)))
             .collect();
-        transmon_xy_controls(qubits.len(), &edges, &self.spec)
+        let mut set = transmon_xy_controls(qubits.len(), &edges, &self.spec);
+        if self.tuning.is_some() {
+            // Per-site limits: x[i]/y[i] channels appear in qubit order
+            // (two per qubit), then one xy channel per induced edge.
+            let mut it = set.channels.iter_mut();
+            for &q in qubits {
+                for _ in 0..2 {
+                    if let Some(ch) = it.next() {
+                        ch.max_amp = self.single_qubit_limit_for(q);
+                    }
+                }
+            }
+            for (ch, &(a, b)) in it.zip(physical_edges.iter()) {
+                ch.max_amp = self.coupler_limit(a, b);
+            }
+        }
+        set
     }
 }
 
@@ -289,6 +410,85 @@ mod tests {
         spec.mu_max = 0.021;
         let tweaked = Device::new(Topology::grid(5, 5), spec);
         assert_ne!(base.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn tuned_device_namespaces_fingerprint_and_patches_limits() {
+        use crate::fingerprint::{decode_fingerprint, FingerprintKind};
+        use crate::tuning::DeviceTuning;
+        let mut tuning = DeviceTuning::identity(25);
+        tuning.qubits[1].drive_scale = 0.5;
+        tuning.coupler_scale.insert((0, 1), 0.75);
+        let dev = Device::with_tuning(
+            Topology::grid(5, 5),
+            HardwareSpec::transmon_xy(),
+            tuning,
+            "heavy-hex",
+            crate::fingerprint::NS_HEAVY_HEX,
+        );
+        assert_eq!(dev.backend_name(), "heavy-hex");
+        match decode_fingerprint(dev.fingerprint()) {
+            FingerprintKind::Namespaced { ns_id, cal_id } => {
+                assert_eq!(ns_id, crate::fingerprint::NS_HEAVY_HEX);
+                assert_eq!(cal_id, dev.tag().expect("tag").cal_id);
+            }
+            FingerprintKind::Legacy => panic!("tuned device must namespace its fingerprint"),
+        }
+        // Per-site limits flow into the control channels.
+        let set = dev.controls_for(&[0, 1]);
+        let amp = |name: &str| {
+            set.channels
+                .iter()
+                .find(|c| c.name == name)
+                .expect(name)
+                .max_amp
+        };
+        assert!((amp("x[0]") - 0.1).abs() < 1e-12);
+        assert!((amp("x[1]") - 0.05).abs() < 1e-12, "drive_scale 0.5");
+        assert!((amp("xy[0,1]") - 0.015).abs() < 1e-12, "coupler_scale 0.75");
+        // And into the analytic rates.
+        assert!(dev.single_qubit_rate_for(1) < dev.single_qubit_rate_for(0));
+        assert!(dev.coupler_rate_between(0, 1) < dev.spec().coupler_rate());
+    }
+
+    #[test]
+    fn untuned_device_keeps_legacy_fingerprint_and_rates() {
+        let dev = Device::grid5x5();
+        assert!(dev.tuning().is_none() && dev.tag().is_none());
+        assert_eq!(dev.backend_name(), "transmon-grid");
+        assert!(!crate::fingerprint::is_namespaced(dev.fingerprint()));
+        // Per-site queries must be the spec values bit-for-bit.
+        assert_eq!(
+            dev.single_qubit_rate_for(7).to_bits(),
+            dev.spec().single_qubit_rate().to_bits()
+        );
+        assert_eq!(
+            dev.coupler_rate_between(0, 1).to_bits(),
+            dev.spec().coupler_rate().to_bits()
+        );
+        assert_eq!(
+            dev.coupler_limit(3, 4).to_bits(),
+            dev.spec().mu_max.to_bits()
+        );
+    }
+
+    #[test]
+    fn calibration_drift_rotates_the_fingerprint() {
+        use crate::tuning::DeviceTuning;
+        let make = |t1: f64| {
+            let mut tuning = DeviceTuning::identity(25);
+            tuning.qubits[0].t1_us = t1;
+            Device::with_tuning(
+                Topology::grid(5, 5),
+                HardwareSpec::transmon_xy(),
+                tuning,
+                "heavy-hex",
+                crate::fingerprint::NS_HEAVY_HEX,
+            )
+        };
+        let (a, b) = (make(100.0), make(93.0));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), make(100.0).fingerprint(), "deterministic");
     }
 
     #[test]

@@ -251,9 +251,9 @@ impl AnalyticModel {
     /// `t = 2·max(c₁, c₂+|c₃|)/rate` reproduces the GRAPE-measured
     /// durations of iSWAP (12.5 ns) and CX (≈14 ns) on the paper's
     /// hardware limits.
-    fn content_time(u4: &Matrix, device: &Device) -> f64 {
+    fn content_time(u4: &Matrix, device: &Device, a: usize, b: usize) -> f64 {
         let w = weyl_coordinates(u4);
-        2.0 * w.c1.max(w.c2 + w.c3.abs()) / device.spec().coupler_rate()
+        2.0 * w.c1.max(w.c2 + w.c3.abs()) / device.coupler_rate_between(a, b)
     }
 
     /// A stable textual signature of a group (gate labels + relative
@@ -281,20 +281,20 @@ impl AnalyticModel {
         let lowered = lower_group(group);
         let qubits = group_qubits(&lowered);
         let n = qubits.len();
-        let rate1 = device.spec().single_qubit_rate();
         let base = AnalyticModel::base_ns(n.max(1));
 
         match n {
             0 => 0.0,
             1 => {
                 let u = combined_unitary(&lowered, &qubits);
+                let rate1 = device.single_qubit_rate_for(qubits[0]);
                 base + AnalyticModel::rotation_angle(&u) / (rate1 * ENVELOPE_1Q)
             }
             2 => {
                 let u = combined_unitary(&lowered, &qubits);
-                let t2 = AnalyticModel::content_time(&u, device)
+                let t2 = AnalyticModel::content_time(&u, device, qubits[0], qubits[1])
                     * coupling_penalty(device, qubits[0], qubits[1]);
-                let t1 = max_local_load(&lowered, &qubits, rate1);
+                let t1 = max_local_load(&lowered, &qubits, device);
                 base + t2 + LOCAL_OVERLAP_RHO * t1
             }
             _ => {
@@ -311,7 +311,7 @@ impl AnalyticModel {
                     busy[ib] += t;
                 }
                 for (i, &q) in qubits.iter().enumerate() {
-                    busy[i] += LOCAL_OVERLAP_RHO * local_load(&lowered, q, rate1);
+                    busy[i] += LOCAL_OVERLAP_RHO * local_load(&lowered, q, device);
                 }
                 let max_busy = busy.iter().copied().fold(0.0, f64::max);
                 base + (GAMMA3 * max_busy).max(floor)
@@ -418,8 +418,10 @@ fn group_qubits(group: &[Instruction]) -> Vec<usize> {
     set.into_iter().collect()
 }
 
-/// Serialized single-qubit rotation time on qubit `q`, ns.
-fn local_load(group: &[Instruction], q: usize, rate1: f64) -> f64 {
+/// Serialized single-qubit rotation time on qubit `q`, ns, against
+/// `q`'s own drive rate (the spec-level rate on untuned devices).
+fn local_load(group: &[Instruction], q: usize, device: &Device) -> f64 {
+    let rate1 = device.single_qubit_rate_for(q);
     group
         .iter()
         .filter(|i| i.gate().num_qubits() == 1 && i.qubits()[0] == q)
@@ -428,10 +430,10 @@ fn local_load(group: &[Instruction], q: usize, rate1: f64) -> f64 {
 }
 
 /// Maximum over group qubits of the serialized single-qubit load.
-fn max_local_load(group: &[Instruction], qubits: &[usize], rate1: f64) -> f64 {
+fn max_local_load(group: &[Instruction], qubits: &[usize], device: &Device) -> f64 {
     qubits
         .iter()
-        .map(|&q| local_load(group, q, rate1))
+        .map(|&q| local_load(group, q, device))
         .fold(0.0, f64::max)
 }
 
@@ -469,7 +471,8 @@ fn pair_contents(
             return;
         }
         let u = combined_unitary(&run, &[pair.0, pair.1]);
-        let t = AnalyticModel::content_time(&u, device) * coupling_penalty(device, pair.0, pair.1);
+        let t = AnalyticModel::content_time(&u, device, pair.0, pair.1)
+            * coupling_penalty(device, pair.0, pair.1);
         *totals.entry(pair).or_insert(0.0) += t;
     };
 

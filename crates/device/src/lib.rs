@@ -25,18 +25,25 @@
 
 pub mod corruption;
 mod faults;
+pub mod fingerprint;
 mod hamiltonian;
 mod io_faults;
 mod latency;
 mod spec;
 mod topology;
+mod tuning;
 
 pub use faults::{
     ChaosAction, ConnChaos, ConnChaosCounts, FaultConfig, FaultCounts, FaultySource,
     DRIBBLE_DELAY_CAP, STALL_CAP,
+};
+pub use fingerprint::{
+    decode_fingerprint, encode_namespaced, is_namespaced, namespace_name, FingerprintKind,
+    NAMESPACE_MAGIC, NS_HEAVY_HEX, NS_TUNABLE_COUPLER,
 };
 pub use hamiltonian::{transmon_xy_controls, ControlChannel, ControlSet, Device};
 pub use io_faults::{IoFaultCounts, IoFaultInjector};
 pub use latency::{validate_estimate, AnalyticModel, PulseEstimate, PulseGenError, PulseSource};
 pub use spec::HardwareSpec;
 pub use topology::Topology;
+pub use tuning::{BackendTag, DeviceTuning, QubitCal};

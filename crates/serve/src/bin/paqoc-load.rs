@@ -4,10 +4,12 @@
 //! paqoc-load <endpoint> replay [--requests N] [--qps F] [--concurrency N]
 //!                              [--tenants N] [--deadline-ms N] [--seed N]
 //!                              [--full] [--config m0|tuned|inf]
+//!                              [--backend NAME]
 //!                              [--retries N] [--retry-overloaded]
 //!                              [--expect-sheds] [--expect-answers]
 //!                              [--max-p99-ms F]
 //! paqoc-load <endpoint> one <benchmark> [--deadline-ms N] [--tenant T]
+//!                                       [--backend NAME]
 //! paqoc-load <endpoint> ping | stats | drain
 //! ```
 //!
@@ -78,6 +80,7 @@ fn replay_cmd(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, String> 
                 opts.preset =
                     ConfigPreset::parse(&name).ok_or_else(|| format!("unknown config {name:?}"))?;
             }
+            "--backend" => opts.backend = Some(value(&mut i, flag)?),
             "--retries" => opts.retry.retries = parse_num(&value(&mut i, flag)?, flag)?,
             "--retry-overloaded" => opts.retry.retry_overloaded = true,
             "--expect-sheds" => asserts.expect_sheds = true,
@@ -129,6 +132,10 @@ fn one_cmd(endpoint: &Endpoint, args: &[String]) -> Result<ExitCode, String> {
             "--tenant" => {
                 i += 1;
                 req.tenant = args.get(i).ok_or("--tenant needs a value")?.clone();
+            }
+            "--backend" => {
+                i += 1;
+                req.backend = Some(args.get(i).ok_or("--backend needs a value")?.clone());
             }
             other => return Err(format!("unknown flag {other:?}")),
         }

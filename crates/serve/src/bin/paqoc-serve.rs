@@ -12,7 +12,8 @@
 //!             [--read-timeout-ms N] [--idle-timeout-ms N]
 //!             [--default-deadline-ms N] [--max-frame-bytes N]
 //!             [--pulse-db PATH] [--store-max-bytes N] [--read-only]
-//!             [--config m0|tuned|inf] [--chaos-stall-ms N]
+//!             [--config m0|tuned|inf] [--backend NAME]
+//!             [--chaos-stall-ms N]
 //! ```
 
 #![deny(unsafe_code)]
@@ -111,6 +112,7 @@ fn parse_args(args: &[String]) -> Result<ServeOptions, String> {
                 opts.preset =
                     ConfigPreset::parse(&name).ok_or_else(|| format!("unknown config {name:?}"))?;
             }
+            "--backend" => opts.backend = value(&mut i, flag)?,
             "--chaos-stall-ms" => {
                 let ms: u64 = parse_num(&value(&mut i, flag)?, flag)?;
                 opts.fault = Some(FaultConfig::stalling(Duration::from_millis(ms)));

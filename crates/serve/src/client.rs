@@ -277,6 +277,8 @@ pub struct ReplayOptions {
     pub quick: bool,
     /// Pipeline preset for every request.
     pub preset: ConfigPreset,
+    /// Backend every request names (`None` uses the server default).
+    pub backend: Option<String>,
     /// Retry policy per request.
     pub retry: RetryPolicy,
     /// Per-call socket timeout.
@@ -294,6 +296,7 @@ impl Default for ReplayOptions {
             seed: 0x10AD,
             quick: true,
             preset: ConfigPreset::M0,
+            backend: None,
             retry: RetryPolicy::default(),
             timeout: Duration::from_secs(30),
         }
@@ -469,6 +472,7 @@ pub fn replay(endpoint: &Endpoint, opts: &ReplayOptions) -> LoadReport {
                     );
                     req.deadline_ms = opts.deadline_ms;
                     req.config = opts.preset;
+                    req.backend = opts.backend.clone();
                     let sent_at = Instant::now();
                     match client.call_retrying(&req, &opts.retry, &mut rng) {
                         Ok(resp) => report.record(&resp, sent_at.elapsed()),

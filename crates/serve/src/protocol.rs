@@ -245,6 +245,9 @@ pub struct Request {
     pub priority: f64,
     /// Pipeline preset.
     pub config: ConfigPreset,
+    /// Device backend to compile for (a `paqoc-backend` registry
+    /// name). `None` uses the server's default backend.
+    pub backend: Option<String>,
 }
 
 impl Request {
@@ -259,6 +262,7 @@ impl Request {
             deadline_ms: None,
             priority: 0.0,
             config: ConfigPreset::M0,
+            backend: None,
         }
     }
 
@@ -273,6 +277,7 @@ impl Request {
             deadline_ms: None,
             priority: 0.0,
             config: ConfigPreset::M0,
+            backend: None,
         }
     }
 }
@@ -326,6 +331,9 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     if req.priority != 0.0 {
         pairs.push(("priority", num(req.priority)));
     }
+    if let Some(b) = &req.backend {
+        pairs.push(("backend", s(b)));
+    }
     obj(pairs).to_json().into_bytes()
 }
 
@@ -378,6 +386,17 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, FrameError> {
             "priority must be finite".to_string(),
         ));
     }
+    let backend = get_str(&v, "backend").map(str::to_string);
+    if let Some(b) = &backend {
+        // Same shape rules as tenant names: backend names reach logs,
+        // store paths and telemetry labels.
+        if !tenant_name_ok(b) {
+            return Err(FrameError::BadRequest(format!(
+                "invalid backend name ({} chars; [A-Za-z0-9._:-] only, max {MAX_TENANT_LEN})",
+                b.len()
+            )));
+        }
+    }
     Ok(Request {
         id,
         op,
@@ -387,6 +406,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, FrameError> {
         deadline_ms: get_u64(&v, "deadline_ms"),
         priority,
         config,
+        backend,
     })
 }
 

@@ -47,6 +47,7 @@ use paqoc_exec::{
     QueueConfig, SharedPulseTable,
 };
 use paqoc_store::{PulseStore, StoreOptions, StoreRole};
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -97,6 +98,10 @@ pub struct ServeOptions {
     /// Pulse-source fault injection (chaos tests). `None` serves the
     /// clean analytic source.
     pub fault: Option<FaultConfig>,
+    /// Backend served when requests do not name one (a `paqoc-backend`
+    /// registry name). Other registered backends are materialized
+    /// lazily on first request.
+    pub backend: String,
 }
 
 impl Default for ServeOptions {
@@ -114,6 +119,7 @@ impl Default for ServeOptions {
             store_options: StoreOptions::default(),
             preset: ConfigPreset::M0,
             fault: None,
+            backend: "transmon-grid".to_string(),
         }
     }
 }
@@ -201,10 +207,75 @@ struct Job {
     label: String,
     circuit: Circuit,
     preset: ConfigPreset,
+    /// The backend the job compiles against (device + pulse table).
+    slot: Arc<BackendSlot>,
     deadline_ms: Option<u64>,
     deadline_at: Option<Instant>,
     enqueued: Instant,
     resp: mpsc::Sender<Response>,
+}
+
+/// Everything backend-specific a worker needs: the device, the shared
+/// pulse table keyed under that device's fingerprint, and the slot's
+/// standing degradations (store read-only / unavailable).
+///
+/// Slots never share a pulse table: the table keys are
+/// fingerprint-prefixed, but separate tables also keep per-backend
+/// working sets independently evictable. All slots open the *same*
+/// `pulse_db` path — the store's single-writer flock means the first
+/// slot to open it writes and later slots attach read-only, and
+/// namespaced fingerprints cohabit one file while legacy fingerprints
+/// keep strict rotation.
+struct BackendSlot {
+    name: String,
+    device: Device,
+    table: Arc<SharedPulseTable>,
+    base_degradations: Vec<Degradation>,
+    store_state: &'static str,
+}
+
+/// Opens the slot for backend `name`: resolves the device and attaches
+/// the persistent store (if configured). Errors only on an unknown
+/// backend name; store failures degrade instead.
+fn open_slot(name: &str, opts: &ServeOptions) -> Result<Arc<BackendSlot>, String> {
+    let backend = paqoc_backend::resolve(name).map_err(|e| e.to_string())?;
+    let device = backend.device();
+    let table = Arc::new(SharedPulseTable::new());
+    let mut base_degradations = Vec::new();
+    let mut store_state = "none";
+    if let Some(path) = &opts.pulse_db {
+        match PulseStore::open_with(path, device.fingerprint(), opts.store_options.clone()) {
+            Ok(store) => {
+                if store.role() == StoreRole::ReadOnly {
+                    let reason = if opts.store_options.read_only {
+                        "requested"
+                    } else {
+                        "lock-held"
+                    };
+                    base_degradations.push(Degradation::StoreReadOnly {
+                        reason: reason.to_string(),
+                    });
+                    store_state = "read-only";
+                } else {
+                    store_state = "writer";
+                }
+                table.attach_store(store);
+            }
+            Err(e) => {
+                base_degradations.push(Degradation::StoreUnavailable {
+                    reason: e.to_string(),
+                });
+                store_state = "unavailable";
+            }
+        }
+    }
+    Ok(Arc::new(BackendSlot {
+        name: name.to_string(),
+        device,
+        table,
+        base_degradations,
+        store_state,
+    }))
 }
 
 #[derive(Default)]
@@ -220,14 +291,12 @@ struct Counters {
 
 struct Shared {
     queue: FairQueue<Job>,
-    table: Arc<SharedPulseTable>,
-    device: Device,
+    /// The slot for `opts.backend`, opened eagerly at startup.
+    default_slot: Arc<BackendSlot>,
+    /// Other backends' slots, materialized on first request.
+    slots: Mutex<BTreeMap<String, Arc<BackendSlot>>>,
     factory: Arc<dyn PulseSourceFactory>,
     opts: ServeOptions,
-    /// Server-level degradations (store read-only / unavailable),
-    /// appended to every compile reply so clients see them typed.
-    base_degradations: Vec<Degradation>,
-    store_state: &'static str,
     counters: Counters,
     /// Set by drain(): stop admitting.
     draining: AtomicBool,
@@ -247,10 +316,35 @@ impl Shared {
             queue_depth: self.queue.len() as u64,
             active: self.counters.active.load(Ordering::SeqCst),
             tenants: self.queue.tenant_count() as u64,
-            table_len: self.table.len() as u64,
+            table_len: self.default_slot.table.len() as u64,
             draining: self.draining.load(Ordering::SeqCst),
-            store: self.store_state.to_string(),
+            store: self.default_slot.store_state.to_string(),
         }
+    }
+
+    /// Resolves the slot a request compiles against: the default slot
+    /// when no backend is named, a lazily-opened slot otherwise.
+    fn slot_for(&self, backend: Option<&str>) -> Result<Arc<BackendSlot>, String> {
+        let name = match backend {
+            None => return Ok(self.default_slot.clone()),
+            Some(name) if name == self.default_slot.name => return Ok(self.default_slot.clone()),
+            Some(name) => name,
+        };
+        let mut slots = lock(&self.slots);
+        if let Some(slot) = slots.get(name) {
+            return Ok(slot.clone());
+        }
+        let slot = open_slot(name, &self.opts)?;
+        paqoc_telemetry::counter("serve.slots_opened", 1);
+        slots.insert(name.to_string(), slot.clone());
+        Ok(slot)
+    }
+
+    /// The default slot plus every lazily-opened one.
+    fn all_slots(&self) -> Vec<Arc<BackendSlot>> {
+        let mut all = vec![self.default_slot.clone()];
+        all.extend(lock(&self.slots).values().cloned());
+        all
     }
 }
 
@@ -295,36 +389,8 @@ impl Server {
             },
         };
 
-        let device = Device::grid5x5();
-        let table = Arc::new(SharedPulseTable::new());
-        let mut base_degradations = Vec::new();
-        let mut store_state = "none";
-        if let Some(path) = &opts.pulse_db {
-            match PulseStore::open_with(path, device.fingerprint(), opts.store_options.clone()) {
-                Ok(store) => {
-                    if store.role() == StoreRole::ReadOnly {
-                        let reason = if opts.store_options.read_only {
-                            "requested"
-                        } else {
-                            "lock-held"
-                        };
-                        base_degradations.push(Degradation::StoreReadOnly {
-                            reason: reason.to_string(),
-                        });
-                        store_state = "read-only";
-                    } else {
-                        store_state = "writer";
-                    }
-                    table.attach_store(store);
-                }
-                Err(e) => {
-                    base_degradations.push(Degradation::StoreUnavailable {
-                        reason: e.to_string(),
-                    });
-                    store_state = "unavailable";
-                }
-            }
-        }
+        let default_slot = open_slot(&opts.backend, &opts)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         let factory: Arc<dyn PulseSourceFactory> = match opts.fault {
             Some(cfg) => Arc::new(FaultyAnalyticFactory::new(cfg)),
             None => Arc::new(AnalyticFactory),
@@ -332,11 +398,9 @@ impl Server {
 
         let shared = Arc::new(Shared {
             queue: FairQueue::new(opts.queue),
-            table,
-            device,
+            default_slot,
+            slots: Mutex::new(BTreeMap::new()),
             factory,
-            base_degradations,
-            store_state,
             counters: Counters::default(),
             draining: AtomicBool::new(false),
             stopping: AtomicBool::new(false),
@@ -412,8 +476,13 @@ impl Server {
             let _ = h.join();
         }
         // Everything admitted has now been answered or shed; flush the
-        // write-behind so a restart warm-hits these pulses.
-        let synced = shared.table.sync().unwrap_or(0);
+        // write-behind of every backend slot so a restart warm-hits
+        // these pulses.
+        let synced = shared
+            .all_slots()
+            .iter()
+            .map(|slot| slot.table.sync().unwrap_or(0))
+            .sum();
         shared.stopping.store(true, Ordering::SeqCst);
         let handles = {
             let mut guard = lock(&self.conns);
@@ -428,7 +497,7 @@ impl Server {
             rejected: shared.counters.overloaded.load(Ordering::SeqCst)
                 + shared.counters.draining_rejects.load(Ordering::SeqCst),
             synced,
-            table_len: shared.table.len(),
+            table_len: shared.default_slot.table.len(),
         };
         paqoc_telemetry::event!(
             "serve.drain_done",
@@ -643,8 +712,18 @@ fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
 }
 
 fn admit_compile(req: Request, shared: &Arc<Shared>) -> Response {
-    // Build the circuit before admission: a bad benchmark name or QASM
-    // never costs a queue slot.
+    // Resolve the backend slot and build the circuit before admission:
+    // an unknown backend, bad benchmark name, or bad QASM never costs
+    // a queue slot.
+    let slot = match shared.slot_for(req.backend.as_deref()) {
+        Ok(slot) => slot,
+        Err(message) => {
+            return Response::Error {
+                kind: "unknown_backend".to_string(),
+                message,
+            }
+        }
+    };
     let (label, circuit) = match (&req.benchmark, &req.qasm) {
         (Some(name), _) => match paqoc_workloads::benchmark(name) {
             Some(b) => (b.name.to_string(), (b.build)()),
@@ -681,6 +760,7 @@ fn admit_compile(req: Request, shared: &Arc<Shared>) -> Response {
         label,
         circuit,
         preset: req.config,
+        slot,
         deadline_ms: deadline.map(|d| d.as_millis() as u64),
         deadline_at: deadline.map(|d| now + d),
         enqueued: now,
@@ -776,15 +856,23 @@ fn serve_job(job: &Job, shared: &Arc<Shared>) -> Response {
         ConfigPreset::Inf => PipelineOptions::m_inf(),
     };
     opts.threads = Some(1);
-    opts.shared_table = Some(shared.table.clone());
+    opts.shared_table = Some(job.slot.table.clone());
     opts.deadline = remaining;
+    // Belt and braces: the pipeline's own guard re-checks that the
+    // slot's device really belongs to the backend the job names.
+    opts.backend = Some(job.slot.name.clone());
     let started = Instant::now();
-    let result = try_compile_batch(&job.circuit, &shared.device, shared.factory.clone(), &opts);
+    let result = try_compile_batch(
+        &job.circuit,
+        &job.slot.device,
+        shared.factory.clone(),
+        &opts,
+    );
     let compile_ms = started.elapsed().as_millis() as u64;
     shared.counters.active.fetch_sub(1, Ordering::SeqCst);
     match result {
         Ok(r) => {
-            let mut degradations = shared.base_degradations.clone();
+            let mut degradations = job.slot.base_degradations.clone();
             degradations.extend(r.degradations);
             Response::Ok(CompileReply {
                 benchmark: job.label.clone(),

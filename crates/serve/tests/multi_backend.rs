@@ -1,0 +1,86 @@
+//! Multi-backend serving: one daemon, two tenants on two different
+//! backends sharing one `pulse_db` path. Both must be answered
+//! correctly, the per-backend pulse tables must never share entries,
+//! and unknown backend names must get a typed error.
+
+use paqoc_serve::{BindAddr, Client, Endpoint, Request, Response, ServeOptions, Server};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paqoc-serve-mb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+fn compile_on(client: &mut Client, id: u64, tenant: &str, backend: Option<&str>) -> Response {
+    // mod5d2_64 is small enough for every backend (tunable-coupler has
+    // the fewest qubits, 16).
+    let mut req = Request::compile(id, tenant, "mod5d2_64");
+    req.backend = backend.map(str::to_string);
+    client.call(&req).expect("transport must not fail")
+}
+
+#[test]
+fn two_backends_one_db_both_tenants_answered() {
+    let db = tmp("multi.pqps");
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(format!("{}.lock", db.display()));
+    let server = Server::start(ServeOptions {
+        addr: BindAddr::Tcp("127.0.0.1:0".to_string()),
+        workers: 2,
+        pulse_db: Some(db),
+        backend: "heavy-hex".to_string(),
+        ..ServeOptions::default()
+    })
+    .expect("server start");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+    let mut client = Client::new(endpoint, Duration::from_secs(120));
+
+    // Tenant A compiles on the (default) heavy-hex backend, tenant B
+    // names tunable-coupler explicitly; both get clean answers.
+    let a = compile_on(&mut client, 1, "tenant-a", None);
+    let Response::Ok(a) = a else {
+        panic!("heavy-hex compile failed: {a:?}");
+    };
+    let b = compile_on(&mut client, 2, "tenant-b", Some("tunable-coupler"));
+    let Response::Ok(b) = b else {
+        panic!("tunable-coupler compile failed: {b:?}");
+    };
+    assert!(a.pulses_generated > 0);
+    // The tunable-coupler compile generated its own pulses: nothing of
+    // tenant A's heavy-hex work was reusable (the slots are isolated;
+    // repeats *within* its own circuit may still hit, that's fine).
+    assert!(
+        b.pulses_generated > 0,
+        "cross-backend reuse must not happen"
+    );
+
+    // Same circuit again on each backend: now the per-backend tables
+    // are warm and serve hits — each from its own slot.
+    let a2 = compile_on(&mut client, 3, "tenant-a", Some("heavy-hex"));
+    let Response::Ok(a2) = a2 else {
+        panic!("warm heavy-hex compile failed: {a2:?}");
+    };
+    let b2 = compile_on(&mut client, 4, "tenant-b", Some("tunable-coupler"));
+    let Response::Ok(b2) = b2 else {
+        panic!("warm tunable-coupler compile failed: {b2:?}");
+    };
+    assert!(a2.cache_hits > 0, "heavy-hex rerun must warm-hit");
+    assert!(b2.cache_hits > 0, "tunable-coupler rerun must warm-hit");
+    assert_eq!(a2.pulses_generated, 0, "warm rerun regenerates nothing");
+    assert_eq!(b2.pulses_generated, 0);
+
+    // An unknown backend gets a typed error, not a hang or a default.
+    let bad = compile_on(&mut client, 5, "tenant-a", Some("ion-trap"));
+    match bad {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, "unknown_backend");
+            assert!(message.contains("ion-trap"), "{message}");
+        }
+        other => panic!("expected unknown_backend error, got {other:?}"),
+    }
+
+    let summary = server.drain();
+    assert_eq!(summary.completed, 4);
+}

@@ -16,6 +16,10 @@ fn sample_request(rng: &mut Rng, id: u64) -> Request {
     if rng.random::<f64>() < 0.5 {
         req.deadline_ms = Some(rng.random_range(1u64..=10_000));
     }
+    if rng.random::<f64>() < 0.5 {
+        let backends = ["transmon-grid", "heavy-hex", "tunable-coupler"];
+        req.backend = Some(backends[rng.random_range(0usize..=2)].to_string());
+    }
     req.priority = rng.random::<f64>() * 10.0 - 5.0;
     req
 }
@@ -37,7 +41,35 @@ fn roundtrip_survives_random_requests() {
         assert_eq!(back.id, req.id);
         assert_eq!(back.tenant, req.tenant);
         assert_eq!(back.deadline_ms, req.deadline_ms);
+        assert_eq!(back.backend, req.backend);
     }
+}
+
+/// Hostile backend names get the same decode-time rejection as hostile
+/// tenant names — they reach logs, telemetry labels, and store paths.
+#[test]
+fn hostile_backend_names_rejected_at_decode() {
+    let hostile = [
+        String::new(),
+        "a/b".to_string(),
+        "a\0b".to_string(),
+        "日本".to_string(),
+        "x".repeat(10_000),
+    ];
+    for name in hostile {
+        let mut req = Request::compile(1, "ok", "mod5d2_64");
+        req.backend = Some(name.clone());
+        let frame = encode_request(&req);
+        match decode_request(&frame) {
+            Err(FrameError::BadRequest(_)) => {}
+            other => panic!("backend {name:?}: expected BadRequest, got {other:?}"),
+        }
+    }
+    // A well-formed (if unknown) name passes decode; the server answers
+    // it with a typed unknown_backend error instead.
+    let mut req = Request::compile(1, "ok", "mod5d2_64");
+    req.backend = Some("ion-trap".to_string());
+    assert!(decode_request(&encode_request(&req)).is_ok());
 }
 
 /// Truncation at EVERY byte offset of a valid wire frame: offset 0 is a

@@ -15,6 +15,7 @@
 //! live writer. `compact` and `merge` need the lock and fail cleanly
 //! when another process holds it.
 
+use paqoc_device::FingerprintKind;
 use paqoc_store::{inspect, PulseStore, StoreInspection, StoreOptions, StoreRole};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -56,11 +57,24 @@ fn usage() -> ExitCode {
     ExitCode::from(1)
 }
 
+/// `"<name> (ns <id>, cal <id>)"` for a namespaced fingerprint,
+/// `"legacy"` for a raw-hash one.
+fn describe_backend(fingerprint: u64) -> String {
+    match paqoc_device::decode_fingerprint(fingerprint) {
+        FingerprintKind::Legacy => "legacy".to_string(),
+        FingerprintKind::Namespaced { ns_id, cal_id } => {
+            let name = paqoc_device::namespace_name(ns_id).unwrap_or("unknown");
+            format!("{name} (ns {ns_id}, cal {cal_id:#06x})")
+        }
+    }
+}
+
 fn print_inspection(path: &Path, ins: &StoreInspection) {
     println!("store            {}", path.display());
     println!("header_ok        {}", ins.header_ok);
     println!("version          {}", ins.version);
     println!("fingerprint      {:016x}", ins.fingerprint);
+    println!("backend          {}", describe_backend(ins.fingerprint));
     println!("file_bytes       {}", ins.file_bytes);
     println!("records_scanned  {}", ins.records_scanned);
     println!("live_records     {}", ins.live_records);
@@ -142,16 +156,30 @@ fn cmd_merge(dst: &Path, src: &Path) -> ExitCode {
         }
     };
     // Guard before opening: opening dst with src's fingerprint would
-    // rotate a mismatched destination away instead of erroring.
+    // rotate (or cohabit) a mismatched destination instead of erroring.
     if let Ok(dst_ins) = inspect(dst) {
         if dst_ins.header_ok && dst_ins.fingerprint != src_ins.fingerprint {
-            eprintln!(
-                "paqoc-store: fingerprint mismatch: {} is {:016x}, {} is {:016x}",
-                dst.display(),
-                dst_ins.fingerprint,
-                src.display(),
-                src_ins.fingerprint
+            let (dst_kind, src_kind) = (
+                paqoc_device::decode_fingerprint(dst_ins.fingerprint),
+                paqoc_device::decode_fingerprint(src_ins.fingerprint),
             );
+            if dst_kind != src_kind {
+                eprintln!(
+                    "paqoc-store: cross-backend merge refused: {} is {}, {} is {}",
+                    dst.display(),
+                    describe_backend(dst_ins.fingerprint),
+                    src.display(),
+                    describe_backend(src_ins.fingerprint)
+                );
+            } else {
+                eprintln!(
+                    "paqoc-store: fingerprint mismatch: {} is {:016x}, {} is {:016x}",
+                    dst.display(),
+                    dst_ins.fingerprint,
+                    src.display(),
+                    src_ins.fingerprint
+                );
+            }
             return ExitCode::from(2);
         }
     }

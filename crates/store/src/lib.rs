@@ -542,7 +542,7 @@ impl PulseStore {
         let mut version = FORMAT_VERSION;
 
         if !bytes.is_empty() {
-            match check_header(&bytes, fingerprint) {
+            match check_header(&bytes, fingerprint, FingerprintRule::Cohabit) {
                 Err(reason) => recovery.rejected = Some(reason),
                 Ok(v) => {
                     version = v;
@@ -1136,7 +1136,7 @@ impl PulseStore {
         let mut report = ScanReport::default();
         let mut consumed = bytes.len();
         if !bytes.is_empty() {
-            match check_header(bytes, self.fingerprint) {
+            match check_header(bytes, self.fingerprint, FingerprintRule::Cohabit) {
                 Err(reason) => recovery.rejected = Some(reason),
                 Ok(v) => {
                     self.version = v;
@@ -1197,11 +1197,14 @@ impl PulseStore {
             path: src.to_path_buf(),
             source,
         })?;
-        let version = check_header(&bytes, self.fingerprint).map_err(|reason| StoreError {
-            op: "merge",
-            path: src.to_path_buf(),
-            source: std::io::Error::other(format!("source rejected: {reason}")),
-        })?;
+        let version =
+            check_header(&bytes, self.fingerprint, FingerprintRule::Exact).map_err(|reason| {
+                StoreError {
+                    op: "merge",
+                    path: src.to_path_buf(),
+                    source: std::io::Error::other(format!("source rejected: {reason}")),
+                }
+            })?;
         let mut src_entries = BTreeMap::new();
         let mut report = ScanReport::default();
         scan_records(
@@ -1285,7 +1288,26 @@ pub fn inspect(path: &Path) -> Result<StoreInspection, StoreError> {
     Ok(ins)
 }
 
-fn check_header(bytes: &[u8], fingerprint: u64) -> Result<u32, RejectReason> {
+/// How strictly a file header's fingerprint must match the handle's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FingerprintRule {
+    /// Bit-for-bit equality. Merge sources use this: merging is an
+    /// explicit "these are the same device" claim, so a namespace
+    /// mismatch there is an operator error, not cohabitation.
+    Exact,
+    /// Open/refresh relaxation: two *backend-namespaced* fingerprints
+    /// (tag byte `0xB5`, see `paqoc_device::fingerprint`) may cohabit
+    /// one file. Every composite cache key is fingerprint-prefixed, so
+    /// cohabitation shares bytes without ever cross-serving a pulse.
+    /// A legacy fingerprint on either side keeps exact-match rotation.
+    Cohabit,
+}
+
+fn check_header(
+    bytes: &[u8],
+    fingerprint: u64,
+    rule: FingerprintRule,
+) -> Result<u32, RejectReason> {
     if bytes.len() < HEADER_LEN || bytes[0..4] != MAGIC {
         return Err(RejectReason::BadHeader);
     }
@@ -1299,10 +1321,16 @@ fn check_header(bytes: &[u8], fingerprint: u64) -> Result<u32, RejectReason> {
     }
     let found = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     if found != fingerprint {
-        return Err(RejectReason::Fingerprint {
-            found,
-            expected: fingerprint,
-        });
+        let cohabit = rule == FingerprintRule::Cohabit
+            && paqoc_device::is_namespaced(found)
+            && paqoc_device::is_namespaced(fingerprint);
+        if !cohabit {
+            return Err(RejectReason::Fingerprint {
+                found,
+                expected: fingerprint,
+            });
+        }
+        paqoc_telemetry::counter("store.ns_cohabit", 1);
     }
     Ok(version)
 }
@@ -1525,6 +1553,75 @@ mod tests {
         drop(s);
         let s = PulseStore::open(&path, 0xBBBB).expect("third open");
         assert!(s.recovery().rejected.is_none());
+    }
+
+    #[test]
+    fn namespaced_fingerprints_cohabit_one_file() {
+        let fp_a = paqoc_device::encode_namespaced(paqoc_device::NS_HEAVY_HEX, 0x0101, 0x1234);
+        let fp_b =
+            paqoc_device::encode_namespaced(paqoc_device::NS_TUNABLE_COUPLER, 0x0202, 0x5678);
+        assert_ne!(fp_a, fp_b);
+        let path = tmp("cohabit.pqps");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = PulseStore::open(&path, fp_a).expect("open a");
+            s.put(&format!("{fp_a:016x}/cx"), est(14.0)).expect("put");
+        }
+        // A second namespaced backend opens the same file: no rotation,
+        // the first backend's records survive.
+        {
+            let mut s = PulseStore::open(&path, fp_b).expect("open b");
+            assert!(s.recovery().rejected.is_none(), "namespaced fps cohabit");
+            assert_eq!(s.len(), 1, "backend A's record survives B's open");
+            assert!(s.get(&format!("{fp_b:016x}/cx")).is_none());
+            s.put(&format!("{fp_b:016x}/cx"), est(9.0)).expect("put");
+        }
+        // And back: A sees both namespaces' records, keys disjoint.
+        let s = PulseStore::open(&path, fp_a).expect("reopen a");
+        assert!(s.recovery().rejected.is_none());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&format!("{fp_a:016x}/cx")), Some(est(14.0)));
+        assert_eq!(s.get(&format!("{fp_b:016x}/cx")), Some(est(9.0)));
+    }
+
+    #[test]
+    fn legacy_vs_namespaced_still_rotates() {
+        let legacy = 0x9182_8249_684c_0a3eu64;
+        let namespaced = paqoc_device::encode_namespaced(paqoc_device::NS_HEAVY_HEX, 7, 0xABCD);
+        let path = tmp("mixed_fp.pqps");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut s = PulseStore::open(&path, legacy).expect("open legacy");
+            s.put("cx", est(14.0)).expect("put");
+        }
+        let s = PulseStore::open(&path, namespaced).expect("open namespaced");
+        assert!(
+            s.recovery().rejected.is_some(),
+            "legacy on either side keeps exact-match rotation"
+        );
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn merge_stays_exact_even_for_namespaced_fingerprints() {
+        let fp_a = paqoc_device::encode_namespaced(paqoc_device::NS_HEAVY_HEX, 1, 0x1111);
+        let fp_b = paqoc_device::encode_namespaced(paqoc_device::NS_TUNABLE_COUPLER, 2, 0x2222);
+        let src = tmp("merge_ns_src.pqps");
+        let dst = tmp("merge_ns_dst.pqps");
+        let _ = std::fs::remove_file(&src);
+        let _ = std::fs::remove_file(&dst);
+        {
+            let mut s = PulseStore::open(&src, fp_b).expect("open src");
+            s.put("k", est(3.0)).expect("put");
+        }
+        let mut d = PulseStore::open(&dst, fp_a).expect("open dst");
+        let err = d
+            .merge_from_file(&src)
+            .expect_err("cross-backend merge must fail");
+        assert!(
+            err.to_string().contains("rejected"),
+            "merge rejects foreign namespaces: {err}"
+        );
     }
 
     #[test]

@@ -81,6 +81,28 @@ cargo run --release -p paqoc-bench --bin report -- flame \
 grep -q "mathkit.matmul" target/verify_flame.txt
 echo "kernel trace smoke OK"
 
+echo "== OpenPulse export smoke: one benchmark per backend, reimport-checked =="
+# The exporter re-imports its own output and diffs sample-by-sample, so
+# a pass here certifies the wire format end to end on every backend.
+cargo build --release -p paqoc-backend
+for BK in transmon-grid heavy-hex tunable-coupler; do
+    ./target/release/paqoc-export mod5d2_64 --backend "$BK" \
+        --reimport-check --out "target/verify_export_$BK.json"
+done
+echo "export smoke OK"
+
+echo "== heavy-hex bench cold -> warm against a fresh namespaced store =="
+# Same cold->warm contract as transmon-grid above, but through the
+# namespaced (0xB5-tagged) fingerprint path of a snapshot backend.
+HH_DB="target/verify_hh_store.db"
+rm -f "$HH_DB" "$HH_DB.lock"
+cargo run --release -p paqoc-bench --bin bench -- --quick \
+    --backend heavy-hex --out target/BENCH_hh_cold.json --pulse-db "$HH_DB"
+cargo run --release -p paqoc-bench --bin bench -- --quick \
+    --backend heavy-hex --out target/BENCH_hh_warm.json --pulse-db "$HH_DB" \
+    --expect-warm
+cargo run --release -p paqoc-store --bin paqoc-store -- verify "$HH_DB"
+
 echo "== paqoc-serve smoke: UDS daemon, replay load, shed + drain gates =="
 # A resident daemon on a unix socket with a deliberately tiny queue and
 # an injected per-pulse stall: the replay must see real answers AND real

@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use paqoc_accqoc as accqoc;
+pub use paqoc_backend as backend;
 pub use paqoc_circuit as circuit;
 pub use paqoc_core as core;
 pub use paqoc_device as device;
